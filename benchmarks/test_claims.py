@@ -1,0 +1,120 @@
+"""Benchmarks for the paper's point claims (experiment index E5-E7).
+
+* E5 (§4.1): WAN access costs approximately two extra round trips —
+  one TCP handshake plus one HTTP exchange — about 400 ms at 100 ms
+  one-way latency.
+* E6 (§4.3): the blocking push achieves zero staleness, at the price of
+  writer latency proportional to the WAN round trip.
+* E7 (§4.5): asynchronous updates restore writer latency; staleness is
+  bounded by the one-way propagation delay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.middleware.context import InvocationContext, RequestInfo
+from repro.middleware.web import WebRequest, http_get
+from tests.helpers import run_process, tiny_system
+
+
+def _ctx(env, server):
+    return InvocationContext(
+        env=env,
+        server=server,
+        request=RequestInfo("bench", "bench", "s", "client-main-0"),
+        costs=server.costs,
+    )
+
+
+def test_wan_overhead_is_two_round_trips(benchmark):
+    """E5: centralized remote page = local page + ~2 x 200 ms."""
+
+    def measure():
+        env, system = tiny_system(PatternLevel.CENTRALIZED)
+        system.warm_replicas()
+        elapsed = {}
+        for client in ("client-main-0", "client-edge1-0"):
+            def probe(client=client):
+                # Warm request first (connection pools, JNDI).
+                for repeat in range(2):
+                    request = WebRequest(
+                        page="Notes", params={"note_id": 1},
+                        session_id=f"{client}-{repeat}", client_node=client,
+                    )
+                    start = env.now
+                    yield from http_get(env, system.main, request)
+                    elapsed[client] = env.now - start
+
+            run_process(env, probe())
+        return elapsed["client-edge1-0"] - elapsed["client-main-0"]
+
+    gap = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print(f"\nWAN overhead: {gap:.0f} ms (paper: ~400 ms)")
+    assert 390.0 < gap < 440.0
+
+
+def test_sync_push_zero_staleness_and_cost(benchmark):
+    """E6: reads after commit always see the new value; writers block."""
+
+    def measure():
+        env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+        system.warm_replicas()
+        main = system.main
+        edge = system.servers["edge1"]
+        timings = {}
+
+        def scenario():
+            ctx = _ctx(env, main)
+            facade = yield from main.lookup(ctx, "NotesFacade")
+            start = env.now
+            yield from facade.call(ctx, "write_note", 1, "pushed")
+            timings["write"] = env.now - start
+            edge_ctx = _ctx(env, edge)
+            edge_facade = yield from edge.lookup(edge_ctx, "NotesFacade")
+            text = yield from edge_facade.call(edge_ctx, "read_note", 1)
+            assert text == "pushed"  # zero staleness
+
+        run_process(env, scenario())
+        return timings["write"]
+
+    write_latency = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print(f"\nblocking write latency: {write_latency:.0f} ms")
+    assert write_latency > 200.0  # blocked on >= 1 WAN round trip
+
+
+def test_async_update_cost_and_staleness_bound(benchmark):
+    """E7: async writers return fast; replicas converge within ~1 one-way
+    WAN delay plus processing."""
+
+    def measure():
+        env, system = tiny_system(PatternLevel.ASYNC_UPDATES)
+        system.warm_replicas()
+        main = system.main
+        timings = {}
+
+        def scenario():
+            ctx = _ctx(env, main)
+            facade = yield from main.lookup(ctx, "NotesFacade")
+            start = env.now
+            yield from facade.call(ctx, "write_note", 1, "async")
+            timings["write"] = env.now - start
+            timings["commit_at"] = env.now
+
+        run_process(env, scenario())  # drains deliveries
+        replica = system.servers["edge1"].readonly_container("Note")
+        assert replica._cache[1]["text"] == "async"
+        provider = system.main.jms
+        timings["staleness"] = provider.mean_delivery_latency()
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print(
+        f"\nasync write latency: {timings['write']:.1f} ms; "
+        f"propagation delay: {timings['staleness']:.0f} ms"
+    )
+    assert timings["write"] < 50.0  # no WAN blocking
+    # Mean delivery latency averages the local main-replica delivery (~0 ms)
+    # with the two WAN edges (~100+ ms each): (0 + 2x~103)/3 ~= 69 ms.
+    assert 50.0 <= timings["staleness"] < 160.0

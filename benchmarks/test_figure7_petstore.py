@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 7 — Pet Store session-average bars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments.figures import build_figure, render_figure
+
+
+def test_figure7_petstore(benchmark, petstore_series):
+    figure = benchmark.pedantic(
+        build_figure, args=(petstore_series,), rounds=3, iterations=1
+    )
+    print()
+    print(render_figure(figure))
+
+    L = PatternLevel
+    remote_browser = {level: figure.value("remote-browser", level) for level in L}
+    remote_buyer = {level: figure.value("remote-buyer", level) for level in L}
+    local_buyer = {level: figure.value("local-buyer", level) for level in L}
+
+    # Remote browsers improve at every step of the read-path pipeline.
+    assert remote_browser[L.REMOTE_FACADE] < remote_browser[L.CENTRALIZED]
+    assert remote_browser[L.STATEFUL_CACHING] < remote_browser[L.REMOTE_FACADE]
+    assert remote_browser[L.QUERY_CACHING] < remote_browser[L.STATEFUL_CACHING]
+    # By the end they are "almost completely insulated from wide-area effects".
+    assert (
+        figure.value("remote-browser", L.ASYNC_UPDATES)
+        < figure.value("local-browser", L.CENTRALIZED) + 60.0
+    )
+
+    # Buyers: the blocking-push configurations are their worst ones, and
+    # asynchronous updates recover the façade-level latency.
+    assert local_buyer[L.STATEFUL_CACHING] > local_buyer[L.REMOTE_FACADE]
+    assert local_buyer[L.ASYNC_UPDATES] < local_buyer[L.STATEFUL_CACHING]
+    assert remote_buyer[L.ASYNC_UPDATES] < remote_buyer[L.CENTRALIZED]
+
+    # The final configuration achieves the best overall performance (§4.6).
+    overall = {
+        level: sum(figure.value(group, level) for group in figure.groups)
+        for level in L
+    }
+    assert overall[L.ASYNC_UPDATES] == min(overall.values())

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 8 — RUBiS session-average bars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments.figures import build_figure, render_figure
+
+
+def test_figure8_rubis(benchmark, rubis_series):
+    figure = benchmark.pedantic(
+        build_figure, args=(rubis_series,), rounds=3, iterations=1
+    )
+    print()
+    print(render_figure(figure))
+
+    L = PatternLevel
+    remote_browser = {level: figure.value("remote-browser", level) for level in L}
+    remote_bidder = {level: figure.value("remote-bidder", level) for level in L}
+    local_bidder = {level: figure.value("local-bidder", level) for level in L}
+
+    # Remote browsers converge to local latency by level 4.
+    assert remote_browser[L.REMOTE_FACADE] < remote_browser[L.CENTRALIZED]
+    assert remote_browser[L.QUERY_CACHING] < remote_browser[L.STATEFUL_CACHING]
+    assert (
+        remote_browser[L.QUERY_CACHING]
+        < figure.value("local-browser", L.CENTRALIZED) + 25.0
+    )
+
+    # "the RUBiS bidder average response time increased" at level 3,
+    # because bidders block on Store pages without gaining from replicas.
+    assert remote_bidder[L.STATEFUL_CACHING] > remote_bidder[L.REMOTE_FACADE]
+    assert local_bidder[L.STATEFUL_CACHING] > local_bidder[L.REMOTE_FACADE]
+
+    # Asynchronous updates give bidders their best latencies.
+    assert remote_bidder[L.ASYNC_UPDATES] < remote_bidder[L.STATEFUL_CACHING]
+    assert local_bidder[L.ASYNC_UPDATES] < local_bidder[L.STATEFUL_CACHING]
+
+    # The final configuration is the overall best (§4.6).
+    overall = {
+        level: sum(figure.value(group, level) for group in figure.groups)
+        for level in L
+    }
+    assert overall[L.ASYNC_UPDATES] == min(overall.values())

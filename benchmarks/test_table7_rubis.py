@@ -1,0 +1,73 @@
+"""Benchmark: regenerate Table 7 — RUBiS per-page response times."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments.tables import build_table, render_table
+
+from conftest import series_for
+
+BROWSE_QUERY_PAGES = (
+    "All Categories",
+    "All Regions",
+    "Region",
+    "Category",
+    "Category & Region",
+    "Bids",
+    "User Info",
+)
+
+
+def test_table7_rubis(benchmark):
+    series = benchmark.pedantic(lambda: series_for("rubis"), rounds=1, iterations=1)
+    table = build_table(series)
+    print()
+    print(render_table(table))
+
+    def mean(level, locality, page):
+        return table.mean(level, locality, page)
+
+    L = PatternLevel
+    # §4.1 — centralized: remote ~= local + 2 WAN round trips, all pages.
+    for page in table.pages:
+        gap = mean(L.CENTRALIZED, "remote", page) - mean(L.CENTRALIZED, "local", page)
+        assert 330.0 < gap < 480.0, (page, gap)
+
+    # §4.2 — static/auth pages local for remote clients; others one RMI.
+    for page in ("Main", "Browse", "Put Bid Auth", "Put Comment Auth"):
+        assert mean(L.REMOTE_FACADE, "remote", page) < 60.0, page
+    for page in BROWSE_QUERY_PAGES + ("Item", "Store Bid"):
+        assert 150.0 < mean(L.REMOTE_FACADE, "remote", page) < 470.0, page
+
+    # §4.3 — Item local via read-only beans; Store pages blocked.
+    assert mean(L.STATEFUL_CACHING, "remote", "Item") < 60.0
+    for page in ("Store Bid", "Store Comment"):
+        assert (
+            mean(L.STATEFUL_CACHING, "local", page)
+            > mean(L.REMOTE_FACADE, "local", page) + 150.0
+        ), page
+    # Aggregate-query pages still remote at level 3.
+    assert mean(L.STATEFUL_CACHING, "remote", "Bids") > 150.0
+
+    # §4.4 — every browse page local for remote clients ("the triumphal
+    # performance of RUBiS remote browser").
+    for page in BROWSE_QUERY_PAGES + ("Item", "Put Bid Form"):
+        assert mean(L.QUERY_CACHING, "remote", page) < 60.0, page
+    # Writers still blocked.
+    assert (
+        mean(L.QUERY_CACHING, "local", "Store Bid")
+        > mean(L.REMOTE_FACADE, "local", "Store Bid") + 150.0
+    )
+
+    # §4.5 — async updates: writers recover, reads stay local.
+    for page in ("Store Bid", "Store Comment"):
+        assert (
+            mean(L.ASYNC_UPDATES, "local", page)
+            < mean(L.QUERY_CACHING, "local", page) - 150.0
+        ), page
+        # Remote writers still pay one RMI (transactional access to main).
+        assert 150.0 < mean(L.ASYNC_UPDATES, "remote", page) < 470.0, page
+    for page in BROWSE_QUERY_PAGES:
+        assert mean(L.ASYNC_UPDATES, "remote", page) < 60.0, page

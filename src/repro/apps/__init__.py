@@ -1,0 +1,1 @@
+"""Sample applications: Java Pet Store and RUBiS."""

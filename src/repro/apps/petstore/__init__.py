@@ -1,0 +1,17 @@
+"""The Java Pet Store sample application (version 1.1.2 analogue)."""
+
+from .app import ALL_PAGES, BROWSER_PAGES, BUYER_PAGES, build_application
+from .data import DEFAULT_SIZES, PetStoreCatalog, populate_petstore
+from .workload import browser_pattern, buyer_pattern
+
+__all__ = [
+    "ALL_PAGES",
+    "BROWSER_PAGES",
+    "BUYER_PAGES",
+    "build_application",
+    "DEFAULT_SIZES",
+    "PetStoreCatalog",
+    "populate_petstore",
+    "browser_pattern",
+    "buyer_pattern",
+]

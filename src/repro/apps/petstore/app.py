@@ -1,0 +1,183 @@
+"""Assembly of the Java Pet Store application descriptor.
+
+``build_application(level)`` returns the application wired the way the
+paper ran it at that configuration level — V1 (direct-JDBC) catalog
+servlets in the centralized baseline, V2 (façade) servlets afterwards.
+Read-mostly and query-cache extended descriptors are always declared;
+:func:`repro.core.automation.configure_for_level` activates them per
+level.
+"""
+
+from __future__ import annotations
+
+from ...core.patterns import PatternLevel
+from ...middleware.descriptors import (
+    ApplicationDescriptor,
+    ComponentDescriptor,
+    ComponentKind,
+    Persistence,
+    QueryCacheDescriptor,
+    ReadMostlyDescriptor,
+    RefreshMode,
+    TxAttribute,
+)
+from . import entities, facades, sessions, web
+from .facades import Q_ITEMS_OF_PRODUCT, Q_PRODUCTS_OF_CATEGORY, Q_SEARCH_ITEMS
+from .schema import petstore_schemas
+
+__all__ = ["build_application", "BROWSER_PAGES", "BUYER_PAGES", "ALL_PAGES"]
+
+BROWSER_PAGES = ["Main", "Category", "Product", "Item", "Search"]
+BUYER_PAGES = [
+    "Main",
+    "Signin",
+    "Verify Signin",
+    "Shopping Cart",
+    "Checkout",
+    "Place Order",
+    "Billing",
+    "Commit Order",
+    "Signout",
+]
+ALL_PAGES = BROWSER_PAGES + BUYER_PAGES[1:]
+
+
+def _entity(name, impl, table, read_mostly=False):
+    return ComponentDescriptor(
+        name=name,
+        kind=ComponentKind.ENTITY,
+        impl=impl,
+        table=table,
+        # Pet Store 1.1.2: "All entity beans ... are implemented using
+        # Bean Managed Persistence" (§2.2).
+        persistence=Persistence.BMP,
+        remote_interface=False,  # entities are local-only (design rule R1)
+        read_mostly=(
+            ReadMostlyDescriptor(updater=name, refresh_mode=RefreshMode.PUSH)
+            if read_mostly
+            else None
+        ),
+    )
+
+
+def _stateless(name, impl, edge_from_level=None):
+    return ComponentDescriptor(
+        name=name,
+        kind=ComponentKind.STATELESS_SESSION,
+        impl=impl,
+        remote_interface=True,
+        edge_from_level=edge_from_level,
+    )
+
+
+def _stateful(name, impl):
+    return ComponentDescriptor(
+        name=name,
+        kind=ComponentKind.STATEFUL_SESSION,
+        impl=impl,
+        remote_interface=False,
+        tx_attribute=TxAttribute.NOT_SUPPORTED,
+    )
+
+
+def _servlet(name, impl):
+    return ComponentDescriptor(
+        name=name,
+        kind=ComponentKind.SERVLET,
+        impl=impl,
+        remote_interface=False,
+        tx_attribute=TxAttribute.NOT_SUPPORTED,
+    )
+
+
+def build_application(level: PatternLevel, catalog=None) -> ApplicationDescriptor:
+    """The Pet Store application as configured for ``level``.
+
+    ``catalog`` is accepted for interface parity with RUBiS; Pet Store's
+    cache keys derive fully from update events, so it is unused.
+    """
+    level = PatternLevel(level)
+    app = ApplicationDescriptor(name="petstore")
+
+    for schema in petstore_schemas():
+        app.add_schema(schema)
+
+    # -- entity tier ---------------------------------------------------------
+    app.add(_entity("Category", entities.CategoryBean, "category", read_mostly=True))
+    app.add(_entity("Product", entities.ProductBean, "product", read_mostly=True))
+    app.add(_entity("Item", entities.ItemBean, "item", read_mostly=True))
+    app.add(_entity("Inventory", entities.InventoryBean, "inventory", read_mostly=True))
+    app.add(_entity("Account", entities.AccountBean, "account"))
+    app.add(_entity("SignOn", entities.SignOnBean, "signon"))
+    app.add(_entity("Order", entities.OrderBean, "orders"))
+    app.add(_entity("LineItem", entities.LineItemBean, "lineitem"))
+
+    # -- session tier -----------------------------------------------------------
+    app.add(_stateless("Catalog", facades.CatalogBean, edge_from_level=3))
+    app.add(_stateless("SignOnFacade", facades.SignOnFacadeBean))
+    app.add(_stateless("CustomerFacade", facades.CustomerFacadeBean))
+    app.add(_stateless("OrderFacade", facades.OrderFacadeBean))
+    app.add(_stateful("ShoppingCart", sessions.ShoppingCartBean))
+    app.add(_stateful("CustomerSession", sessions.CustomerSessionBean))
+    app.add(
+        _stateful("ShoppingClientController", sessions.ShoppingClientControllerBean)
+    )
+
+    # -- queries and their edge caches (§4.4: "the set of products for a
+    #    given category, and the set of items belonging to a given product") --
+    app.add_query(
+        Q_SEARCH_ITEMS,
+        "SELECT id, name, list_price FROM item WHERE name LIKE ?",
+    )
+    app.add_query_cache(
+        QueryCacheDescriptor(
+            query_id=Q_PRODUCTS_OF_CATEGORY,
+            sql="SELECT id, name, description FROM product WHERE category_id = ?",
+            invalidated_by=("product",),
+            # Pet Store: "For simplicity, we implemented the pull-based
+            # update mechanism for caching query results" (§4.4).
+            refresh_mode=RefreshMode.PULL,
+            key_of_update=lambda event: (
+                (event.state.get("category_id"),) if event.state else None
+            ),
+        )
+    )
+    app.add_query_cache(
+        QueryCacheDescriptor(
+            query_id=Q_ITEMS_OF_PRODUCT,
+            sql="SELECT id, name, list_price FROM item WHERE product_id = ?",
+            invalidated_by=("item",),
+            refresh_mode=RefreshMode.PULL,
+            key_of_update=lambda event: (
+                (event.state.get("product_id"),) if event.state else None
+            ),
+        )
+    )
+
+    # -- web tier ------------------------------------------------------------
+    facade_era = level >= PatternLevel.REMOTE_FACADE
+    catalog_servlets = {
+        "Category": web.CategoryServletV2 if facade_era else web.CategoryServletV1,
+        "Product": web.ProductServletV2 if facade_era else web.ProductServletV1,
+        "Item": web.ItemServletV2 if facade_era else web.ItemServletV1,
+        "Search": web.SearchServletV2 if facade_era else web.SearchServletV1,
+    }
+    servlet_impls = {
+        "Main": web.MainServlet,
+        "Signin": web.SigninServlet,
+        "Verify Signin": web.VerifySigninServlet,
+        "Shopping Cart": web.ShoppingCartServlet,
+        "Checkout": web.CheckoutServlet,
+        "Place Order": web.PlaceOrderServlet,
+        "Billing": web.BillingServlet,
+        "Commit Order": web.CommitOrderServlet,
+        "Signout": web.SignoutServlet,
+    }
+    servlet_impls.update(catalog_servlets)
+    for page, impl in servlet_impls.items():
+        component = f"servlet.{page}"
+        app.add(_servlet(component, impl))
+        app.map_page(page, component)
+
+    app.validate()
+    return app

@@ -1,0 +1,145 @@
+"""Pet Store data generation.
+
+The paper enlarged the stock database "to allow testing a greater number
+of concurrent users without contention for the data.  Specifically, we
+added five artificial categories, 50 products and 300 items."  On top of
+Pet Store's original five categories and modest product list, that gives
+the defaults below.  Accounts/signons are generated for the buyer
+population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ...rdbms.engine import Database
+from ...simnet.rng import Streams
+from .schema import petstore_schemas
+
+__all__ = ["PetStoreCatalog", "populate_petstore", "DEFAULT_SIZES"]
+
+ORIGINAL_CATEGORIES = ["Fish", "Dogs", "Cats", "Reptiles", "Birds"]
+
+DEFAULT_SIZES = {
+    "artificial_categories": 5,   # paper: "added five artificial categories"
+    "products": 66,               # ~16 original + 50 added
+    "items": 350,                 # ~50 original + 300 added
+    "accounts": 200,
+    "initial_quantity": 10_000,
+}
+
+
+@dataclass
+class PetStoreCatalog:
+    """Identifier catalog handed to workload generators.
+
+    Knowing which ids exist lets browser sessions request structurally
+    valid pages (an Item page always names an item of the previously
+    viewed product).
+    """
+
+    category_ids: List[int] = field(default_factory=list)
+    products_by_category: Dict[int, List[int]] = field(default_factory=dict)
+    items_by_product: Dict[int, List[int]] = field(default_factory=dict)
+    user_ids: List[str] = field(default_factory=list)
+    keywords: List[str] = field(default_factory=list)
+
+    @property
+    def product_ids(self) -> List[int]:
+        return [p for products in self.products_by_category.values() for p in products]
+
+    @property
+    def item_ids(self) -> List[int]:
+        return [i for items in self.items_by_product.values() for i in items]
+
+
+def populate_petstore(
+    streams: Streams, sizes: Dict[str, int] = None
+) -> "tuple[Database, PetStoreCatalog]":
+    """Create and fill the Pet Store database; returns (db, id catalog)."""
+    sizes = dict(DEFAULT_SIZES, **(sizes or {}))
+    database = Database("petstore")
+    for schema in petstore_schemas():
+        database.create_table(schema)
+
+    catalog = PetStoreCatalog()
+    rng = streams.get("petstore-data")
+
+    # -- categories -----------------------------------------------------------
+    names = list(ORIGINAL_CATEGORIES) + [
+        f"Exotic-{index}" for index in range(sizes["artificial_categories"])
+    ]
+    for category_id, name in enumerate(names, start=1):
+        database.execute(
+            "INSERT INTO category (id, name, description) VALUES (?, ?, ?)",
+            (category_id, name, f"All about {name.lower()} and their care"),
+        )
+        catalog.category_ids.append(category_id)
+        catalog.products_by_category[category_id] = []
+
+    # -- products -----------------------------------------------------------
+    breeds = ["Angel", "Tiger", "Golden", "Spotted", "Dwarf", "Royal", "Shadow", "Amazon"]
+    for product_id in range(1, sizes["products"] + 1):
+        category_id = catalog.category_ids[(product_id - 1) % len(catalog.category_ids)]
+        breed = breeds[product_id % len(breeds)]
+        name = f"{breed} {names[category_id - 1]} #{product_id}"
+        database.execute(
+            "INSERT INTO product (id, category_id, name, description) VALUES (?, ?, ?, ?)",
+            (product_id, category_id, name, f"A fine specimen of {name}"),
+        )
+        catalog.products_by_category[category_id].append(product_id)
+        catalog.items_by_product[product_id] = []
+    catalog.keywords = sorted({breed.lower() for breed in breeds})
+
+    # -- items + inventory ----------------------------------------------------
+    product_ids = catalog.product_ids
+    for item_id in range(1, sizes["items"] + 1):
+        product_id = product_ids[(item_id - 1) % len(product_ids)]
+        breed = breeds[product_id % len(breeds)]
+        price = round(rng.uniform(9.5, 220.0), 2)
+        database.execute(
+            "INSERT INTO item (id, product_id, name, list_price, unit_cost, description) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                item_id,
+                product_id,
+                f"EST-{item_id}",
+                price,
+                round(price * 0.6, 2),
+                # The breed keyword makes items findable by keyword search.
+                f"Variant {item_id} of the {breed} line (product {product_id})",
+            ),
+        )
+        database.execute(
+            "INSERT INTO inventory (item_id, quantity) VALUES (?, ?)",
+            (item_id, sizes["initial_quantity"]),
+        )
+        catalog.items_by_product[product_id].append(item_id)
+
+    # -- accounts / signons -------------------------------------------------
+    for index in range(sizes["accounts"]):
+        user_id = f"user{index}"
+        database.execute(
+            "INSERT INTO account (user_id, email, first_name, last_name, address, "
+            "city, state, zip, country, phone) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                user_id,
+                f"{user_id}@example.net",
+                f"First{index}",
+                f"Last{index}",
+                f"{100 + index} Main Street",
+                "New York",
+                "NY",
+                f"1000{index % 10}",
+                "USA",
+                f"555-01{index % 100:02d}",
+            ),
+        )
+        database.execute(
+            "INSERT INTO signon (user_id, password) VALUES (?, ?)",
+            (user_id, f"pw-{index}"),
+        )
+        catalog.user_ids.append(user_id)
+
+    return database, catalog

@@ -1,0 +1,269 @@
+"""Pet Store web tier: one servlet per page (Tables 2 and 3).
+
+Two generations of the catalog servlets exist, mirroring §4.2's rewrite:
+
+* **V1** (the original, used in the centralized configuration): the web
+  tier retrieves product information "from the Product database directly
+  via JDBC" — several statements per page;
+* **V2** (from the remote-façade configuration on): every page makes at
+  most one call to the ``Catalog`` session façade.
+
+Buyer-path servlets delegate to the ``ShoppingClientController``
+stateful bean in both generations.
+"""
+
+from __future__ import annotations
+
+from ...middleware.ejb import Servlet
+from ...middleware.web import Response, WebRequest
+
+__all__ = [
+    "PAGE_SIZES",
+    "MainServlet",
+    "CategoryServletV1",
+    "CategoryServletV2",
+    "ProductServletV1",
+    "ProductServletV2",
+    "ItemServletV1",
+    "ItemServletV2",
+    "SearchServletV1",
+    "SearchServletV2",
+    "SigninServlet",
+    "VerifySigninServlet",
+    "ShoppingCartServlet",
+    "CheckoutServlet",
+    "PlaceOrderServlet",
+    "BillingServlet",
+    "CommitOrderServlet",
+    "SignoutServlet",
+]
+
+# Base HTML sizes per page (bytes); list pages add a per-row contribution.
+PAGE_SIZES = {
+    "Main": 8_200,
+    "Category": 9_800,
+    "Product": 9_600,
+    "Item": 9_200,
+    "Search": 8_400,
+    "Signin": 5_600,
+    "Verify Signin": 6_200,
+    "Shopping Cart": 7_400,
+    "Checkout": 7_000,
+    "Place Order": 6_800,
+    "Billing": 6_400,
+    "Commit Order": 6_600,
+    "Signout": 5_200,
+}
+ROW_HTML = 140  # bytes of rendered HTML per listed row
+
+
+class MainServlet(Servlet):
+    """Entry point: static welcome page with the top-level category bar."""
+
+    def handle(self, ctx, request: WebRequest):
+        return Response(PAGE_SIZES["Main"], data={"page": "Main"})
+
+
+# ---------------------------------------------------------------------------
+# Catalog pages, V1: direct JDBC from the web tier (original Pet Store)
+# ---------------------------------------------------------------------------
+
+
+class CategoryServletV1(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        category_id = request.param("category_id")
+        category = yield from ctx.server.db_execute(
+            ctx, "SELECT * FROM category WHERE id = ?", (category_id,)
+        )
+        products = yield from ctx.server.db_execute(
+            ctx,
+            "SELECT id, name, description FROM product WHERE category_id = ?",
+            (category_id,),
+        )
+        return Response(
+            PAGE_SIZES["Category"] + ROW_HTML * len(products.rows),
+            data={"category": category.first(), "products": len(products.rows)},
+        )
+
+
+class ProductServletV1(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        product_id = request.param("product_id")
+        product = yield from ctx.server.db_execute(
+            ctx, "SELECT * FROM product WHERE id = ?", (product_id,)
+        )
+        items = yield from ctx.server.db_execute(
+            ctx,
+            "SELECT id, name, list_price FROM item WHERE product_id = ?",
+            (product_id,),
+        )
+        return Response(
+            PAGE_SIZES["Product"] + ROW_HTML * len(items.rows),
+            data={"product": product.first(), "items": len(items.rows)},
+        )
+
+
+class ItemServletV1(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        item_id = request.param("item_id")
+        item = yield from ctx.server.db_execute(
+            ctx, "SELECT * FROM item WHERE id = ?", (item_id,)
+        )
+        inventory = yield from ctx.server.db_execute(
+            ctx, "SELECT quantity FROM inventory WHERE item_id = ?", (item_id,)
+        )
+        return Response(
+            PAGE_SIZES["Item"],
+            data={"item": item.first(), "quantity": inventory.scalar()},
+        )
+
+
+class SearchServletV1(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        keyword = request.param("keyword", "")
+        rows = yield from ctx.server.db_execute(
+            ctx,
+            "SELECT id, name, list_price FROM item WHERE name LIKE ? "
+            "OR description LIKE ?",
+            (f"%{keyword}%", f"%{keyword}%"),
+        )
+        return Response(
+            PAGE_SIZES["Search"] + ROW_HTML * len(rows.rows),
+            data={"matches": len(rows.rows)},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Catalog pages, V2: one façade call per page (§4.2)
+# ---------------------------------------------------------------------------
+
+
+class CategoryServletV2(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        catalog = yield from ctx.lookup("Catalog")
+        page = yield from catalog.call(
+            ctx, "get_category_page", request.param("category_id")
+        )
+        return Response(
+            PAGE_SIZES["Category"] + ROW_HTML * len(page["products"]),
+            data={"category": page["category"], "products": len(page["products"])},
+        )
+
+
+class ProductServletV2(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        catalog = yield from ctx.lookup("Catalog")
+        page = yield from catalog.call(
+            ctx, "get_product_page", request.param("product_id")
+        )
+        return Response(
+            PAGE_SIZES["Product"] + ROW_HTML * len(page["items"]),
+            data={"product": page["product"], "items": len(page["items"])},
+        )
+
+
+class ItemServletV2(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        catalog = yield from ctx.lookup("Catalog")
+        page = yield from catalog.call(ctx, "get_item_page", request.param("item_id"))
+        return Response(
+            PAGE_SIZES["Item"],
+            data={"item": page["item"], "quantity": page["quantity"]},
+        )
+
+
+class SearchServletV2(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        catalog = yield from ctx.lookup("Catalog")
+        rows = yield from catalog.call(ctx, "search", request.param("keyword", ""))
+        return Response(
+            PAGE_SIZES["Search"] + ROW_HTML * len(rows),
+            data={"matches": len(rows)},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Buyer pages (Table 3)
+# ---------------------------------------------------------------------------
+
+
+class SigninServlet(Servlet):
+    """Static form prompting for user id and password."""
+
+    def handle(self, ctx, request: WebRequest):
+        return Response(PAGE_SIZES["Signin"], data={"page": "Signin"})
+
+
+class VerifySigninServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        ok = yield from scc.call(
+            ctx, "sign_in", request.param("user_id"), request.param("password")
+        )
+        return Response(
+            PAGE_SIZES["Verify Signin"],
+            status=200 if ok else 401,
+            data={"signed_in": ok},
+        )
+
+
+class ShoppingCartServlet(Servlet):
+    """Add an item, then display the updated cart content."""
+
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        yield from scc.call(
+            ctx, "add_to_cart", request.param("item_id"), request.param("quantity", 1)
+        )
+        cart = yield from scc.call(ctx, "get_cart")
+        return Response(
+            PAGE_SIZES["Shopping Cart"] + ROW_HTML * len(cart["items"]),
+            data={"cart_size": len(cart["items"]), "total": cart["total"]},
+        )
+
+
+class CheckoutServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        cart = yield from scc.call(ctx, "get_cart")
+        return Response(
+            PAGE_SIZES["Checkout"] + ROW_HTML * len(cart["items"]),
+            data={"cart_size": len(cart["items"]), "total": cart["total"]},
+        )
+
+
+class PlaceOrderServlet(Servlet):
+    """Order confirmation: rendered purely from session state."""
+
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        cart = yield from scc.call(ctx, "get_cart")
+        return Response(
+            PAGE_SIZES["Place Order"],
+            data={"total": cart["total"]},
+        )
+
+
+class BillingServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        profile = yield from scc.call(ctx, "get_billing_info")
+        return Response(PAGE_SIZES["Billing"], data={"user_id": profile["user_id"]})
+
+
+class CommitOrderServlet(Servlet):
+    """All database updates happen here (Table 3)."""
+
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        receipt = yield from scc.call(ctx, "commit_order")
+        return Response(PAGE_SIZES["Commit Order"], data=receipt)
+
+
+class SignoutServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        scc = yield from ctx.lookup("ShoppingClientController")
+        yield from scc.call(ctx, "sign_out")
+        yield from scc.call(ctx, "remove")
+        ctx.server.web_sessions.discard(request.session_id)
+        return Response(PAGE_SIZES["Signout"], data={"signed_out": True})

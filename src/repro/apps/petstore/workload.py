@@ -1,0 +1,99 @@
+"""Pet Store service usage patterns (Tables 2 and 3).
+
+Browser: 20-request sessions over the five product pages with the
+paper's weights; an Item page always requests an item of the previously
+viewed product.  Buyer: the fixed nine-page sign-in / buy / sign-out
+script.
+"""
+
+from __future__ import annotations
+
+from ...core.usage import ScriptedPattern, WeightedPattern
+from ...simnet.rng import Streams
+from .data import PetStoreCatalog
+
+__all__ = ["browser_pattern", "buyer_pattern", "BROWSER_WEIGHTS", "BUYER_SCRIPT"]
+
+# Table 2: request percentages within a browser session.
+BROWSER_WEIGHTS = {
+    "Main": 5.0,
+    "Category": 15.0,
+    "Product": 30.0,
+    "Item": 45.0,
+    "Search": 5.0,
+}
+
+BROWSER_SESSION_LENGTH = 20
+
+# Table 3: the buyer's essential activities.
+BUYER_SCRIPT = [
+    "Main",
+    "Signin",
+    "Verify Signin",
+    "Shopping Cart",
+    "Checkout",
+    "Place Order",
+    "Billing",
+    "Commit Order",
+    "Signout",
+]
+
+
+def browser_pattern(catalog: PetStoreCatalog) -> WeightedPattern:
+    """Table 2's browser with structurally consistent page parameters."""
+
+    def params_for(streams: Streams, page: str, previous):
+        rng_name = "petstore-browser-params"
+        if page == "Category":
+            return {"category_id": streams.choice(rng_name, catalog.category_ids)}
+        if page == "Product":
+            # Prefer a product of the category just viewed.
+            if previous is not None and previous.page == "Category":
+                category_id = previous.params["category_id"]
+                products = catalog.products_by_category.get(category_id) or catalog.product_ids
+            else:
+                products = catalog.product_ids
+            return {"product_id": streams.choice(rng_name, products)}
+        if page == "Item":
+            # "a request of an Item page always goes after a request for a
+            # Product page, such that the requested item belongs to the
+            # previously requested product" (§3.2).
+            if previous is not None and previous.page == "Product":
+                product_id = previous.params["product_id"]
+                items = catalog.items_by_product.get(product_id) or catalog.item_ids
+            else:
+                items = catalog.item_ids
+            return {"item_id": streams.choice(rng_name, items)}
+        if page == "Search":
+            return {"keyword": streams.choice(rng_name, catalog.keywords)}
+        return {}
+
+    return WeightedPattern(
+        name="petstore-browser",
+        length=BROWSER_SESSION_LENGTH,
+        weights=BROWSER_WEIGHTS,
+        first_page="Main",
+        params_for=params_for,
+        follows={"Item": "Product"},
+    )
+
+
+def buyer_pattern(catalog: PetStoreCatalog) -> ScriptedPattern:
+    """Table 3's buyer: sign in, buy one item, sign out."""
+
+    def params_for(streams: Streams, page: str, index: int):
+        rng_name = "petstore-buyer-params"
+        if page == "Verify Signin":
+            user_index = streams.randint(rng_name, 0, len(catalog.user_ids) - 1)
+            user_id = catalog.user_ids[user_index]
+            return {"user_id": user_id, "password": f"pw-{user_index}"}
+        if page == "Shopping Cart":
+            return {
+                "item_id": streams.choice(rng_name, catalog.item_ids),
+                "quantity": 1,  # "we never put more than one item" (§4.5)
+            }
+        return {}
+
+    return ScriptedPattern(
+        name="petstore-buyer", script=BUYER_SCRIPT, params_for=params_for
+    )

@@ -1,0 +1,17 @@
+"""RUBiS — the Rice University Bidding System (Session Façade version)."""
+
+from .app import ALL_PAGES, BIDDER_PAGES, BROWSER_PAGES, build_application
+from .data import DEFAULT_SIZES, RubisCatalog, populate_rubis
+from .workload import bidder_pattern, browser_pattern
+
+__all__ = [
+    "ALL_PAGES",
+    "BIDDER_PAGES",
+    "BROWSER_PAGES",
+    "build_application",
+    "DEFAULT_SIZES",
+    "RubisCatalog",
+    "populate_rubis",
+    "bidder_pattern",
+    "browser_pattern",
+]

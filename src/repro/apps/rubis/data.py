@@ -1,0 +1,171 @@
+"""RUBiS data generation.
+
+The paper: "we added 400 users from 20 regions, selling 400 items
+belonging to 20 categories" — plus a plausible bid/comment history so
+the Bids and User Info pages have rows to list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ...rdbms.engine import Database
+from ...simnet.rng import Streams
+from .schema import rubis_schemas
+
+__all__ = ["RubisCatalog", "populate_rubis", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = {
+    "regions": 20,
+    "categories": 20,
+    "users": 400,
+    "items": 400,
+    "bids_per_item_max": 6,
+    "comments_per_user_max": 4,
+}
+
+
+@dataclass
+class RubisCatalog:
+    """Identifier catalog for workload generators."""
+
+    region_ids: List[int] = field(default_factory=list)
+    category_ids: List[int] = field(default_factory=list)
+    user_ids: List[int] = field(default_factory=list)
+    item_ids: List[int] = field(default_factory=list)
+    items_by_category: Dict[int, List[int]] = field(default_factory=dict)
+    seller_of_item: Dict[int, int] = field(default_factory=dict)
+    region_of_user: Dict[int, int] = field(default_factory=dict)
+    next_bid_id: int = 1
+    next_comment_id: int = 1
+
+
+def populate_rubis(
+    streams: Streams, sizes: Dict[str, int] = None
+) -> "tuple[Database, RubisCatalog]":
+    """Create and fill the RUBiS database; returns (db, id catalog)."""
+    sizes = dict(DEFAULT_SIZES, **(sizes or {}))
+    database = Database("rubis")
+    for schema in rubis_schemas():
+        database.create_table(schema)
+
+    catalog = RubisCatalog()
+    rng = streams.get("rubis-data")
+
+    for region_id in range(1, sizes["regions"] + 1):
+        database.execute(
+            "INSERT INTO regions (id, name) VALUES (?, ?)",
+            (region_id, f"Region-{region_id}"),
+        )
+        catalog.region_ids.append(region_id)
+
+    for category_id in range(1, sizes["categories"] + 1):
+        database.execute(
+            "INSERT INTO categories (id, name) VALUES (?, ?)",
+            (category_id, f"Category-{category_id}"),
+        )
+        catalog.category_ids.append(category_id)
+        catalog.items_by_category[category_id] = []
+
+    for user_id in range(1, sizes["users"] + 1):
+        region_id = catalog.region_ids[(user_id - 1) % len(catalog.region_ids)]
+        database.execute(
+            "INSERT INTO users (id, nickname, password, email, rating, balance, "
+            "region_id, creation_date) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                user_id,
+                f"user{user_id}",
+                f"password{user_id}",
+                f"user{user_id}@rubis.example",
+                0,
+                0.0,
+                region_id,
+                0.0,
+            ),
+        )
+        catalog.user_ids.append(user_id)
+        catalog.region_of_user[user_id] = region_id
+
+    for item_id in range(1, sizes["items"] + 1):
+        category_id = catalog.category_ids[(item_id - 1) % len(catalog.category_ids)]
+        seller = catalog.user_ids[(item_id * 7) % len(catalog.user_ids)]
+        initial_price = round(rng.uniform(5.0, 500.0), 2)
+        database.execute(
+            "INSERT INTO items (id, name, description, initial_price, reserve_price, "
+            "buy_now, quantity, nb_of_bids, max_bid, start_date, end_date, seller, "
+            "category) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                item_id,
+                f"Item-{item_id}",
+                f"A fine auction lot number {item_id}",
+                initial_price,
+                round(initial_price * 1.2, 2),
+                round(initial_price * 2.0, 2),
+                1,
+                0,
+                0.0,
+                0.0,
+                7.0 * 24 * 3600 * 1000,
+                seller,
+                category_id,
+            ),
+        )
+        catalog.item_ids.append(item_id)
+        catalog.items_by_category[category_id].append(item_id)
+        catalog.seller_of_item[item_id] = seller
+
+    # -- bid history -----------------------------------------------------------
+    bid_id = 1
+    for item_id in catalog.item_ids:
+        bids = rng.randint(0, sizes["bids_per_item_max"])
+        price = None
+        for _ in range(bids):
+            bidder = rng.choice(catalog.user_ids)
+            row = database.execute(
+                "SELECT initial_price, max_bid FROM items WHERE id = ?", (item_id,)
+            ).first()
+            price = round(max(row["initial_price"], row["max_bid"]) + rng.uniform(1, 20), 2)
+            database.execute(
+                "INSERT INTO bids (id, user_id, item_id, qty, bid, max_bid, date) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (bid_id, bidder, item_id, 1, price, price, 0.0),
+            )
+            database.execute(
+                "UPDATE items SET nb_of_bids = ?, max_bid = ? WHERE id = ?",
+                (bid_id_count(database, item_id), price, item_id),
+            )
+            bid_id += 1
+    catalog.next_bid_id = bid_id
+
+    # -- comment history -----------------------------------------------------
+    comment_id = 1
+    for user_id in catalog.user_ids:
+        comments = rng.randint(0, sizes["comments_per_user_max"])
+        for _ in range(comments):
+            author = rng.choice(catalog.user_ids)
+            rating = rng.choice([-1, 0, 1])
+            database.execute(
+                "INSERT INTO comments (id, from_user, to_user, item_id, rating, date, "
+                "comment) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    comment_id,
+                    author,
+                    user_id,
+                    rng.choice(catalog.item_ids),
+                    rating,
+                    0.0,
+                    f"Comment {comment_id}: pleasure doing business",
+                ),
+            )
+            comment_id += 1
+    catalog.next_comment_id = comment_id
+
+    return database, catalog
+
+
+def bid_id_count(database: Database, item_id: int) -> int:
+    """Current number of bids on ``item_id`` (used while seeding)."""
+    return database.execute(
+        "SELECT COUNT(*) AS n FROM bids WHERE item_id = ?", (item_id,)
+    ).scalar()

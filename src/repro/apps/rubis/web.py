@@ -1,0 +1,220 @@
+"""RUBiS web tier: one thin servlet per page (Tables 4 and 5).
+
+RUBiS's design is "rather streamlined": each servlet invokes at most one
+business method on its dedicated session façade ("we only made sure that
+there is only one RMI call from the web layer to the EJB layer in every
+servlet web page generation method", §4.2).
+"""
+
+from __future__ import annotations
+
+from ...middleware.ejb import Servlet
+from ...middleware.web import Response, WebRequest
+
+__all__ = [
+    "PAGE_SIZES",
+    "MainServlet",
+    "BrowseServlet",
+    "AllCategoriesServlet",
+    "AllRegionsServlet",
+    "RegionServlet",
+    "CategoryServlet",
+    "CategoryRegionServlet",
+    "ItemServlet",
+    "BidsServlet",
+    "UserInfoServlet",
+    "PutBidAuthServlet",
+    "PutBidFormServlet",
+    "StoreBidServlet",
+    "PutCommentAuthServlet",
+    "PutCommentFormServlet",
+    "StoreCommentServlet",
+]
+
+PAGE_SIZES = {
+    "Main": 2_100,
+    "Browse": 2_000,
+    "All Categories": 2_600,
+    "All Regions": 2_600,
+    "Region": 2_800,
+    "Category": 3_400,
+    "Category & Region": 3_400,
+    "Item": 3_800,
+    "Bids": 3_400,
+    "User Info": 3_400,
+    "Put Bid Auth": 2_200,
+    "Put Bid Form": 3_200,
+    "Store Bid": 2_400,
+    "Put Comment Auth": 2_200,
+    "Put Comment Form": 2_800,
+    "Store Comment": 2_400,
+}
+ROW_HTML = 90
+
+
+class MainServlet(Servlet):
+    """Static entry page."""
+
+    def handle(self, ctx, request: WebRequest):
+        return Response(PAGE_SIZES["Main"], data={"page": "Main"})
+
+
+class BrowseServlet(Servlet):
+    """Static page listing browsing options."""
+
+    def handle(self, ctx, request: WebRequest):
+        return Response(PAGE_SIZES["Browse"], data={"page": "Browse"})
+
+
+class AllCategoriesServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_BrowseCategories")
+        rows = yield from facade.call(ctx, "get_all")
+        return Response(
+            PAGE_SIZES["All Categories"] + ROW_HTML * len(rows),
+            data={"categories": len(rows)},
+        )
+
+
+class AllRegionsServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_BrowseRegions")
+        rows = yield from facade.call(ctx, "get_all")
+        return Response(
+            PAGE_SIZES["All Regions"] + ROW_HTML * len(rows),
+            data={"regions": len(rows)},
+        )
+
+
+class RegionServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_BrowseCategories")
+        page = yield from facade.call(ctx, "get_for_region", request.param("region_id"))
+        return Response(
+            PAGE_SIZES["Region"] + ROW_HTML * len(page["categories"]),
+            data={"region": page["region"]["name"], "categories": len(page["categories"])},
+        )
+
+
+class CategoryServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_SearchItemsInCategory")
+        rows = yield from facade.call(ctx, "get", request.param("category_id"))
+        return Response(
+            PAGE_SIZES["Category"] + ROW_HTML * len(rows),
+            data={"items": len(rows)},
+        )
+
+
+class CategoryRegionServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_SearchItemsInCategoryRegion")
+        rows = yield from facade.call(
+            ctx, "get", request.param("category_id"), request.param("region_id")
+        )
+        return Response(
+            PAGE_SIZES["Category & Region"] + ROW_HTML * len(rows),
+            data={"items": len(rows)},
+        )
+
+
+class ItemServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_ViewItem")
+        page = yield from facade.call(ctx, "get", request.param("item_id"))
+        return Response(
+            PAGE_SIZES["Item"],
+            data={"item": page["item"]["name"], "summary": page["summary"]},
+        )
+
+
+class BidsServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_ViewBidHistory")
+        rows = yield from facade.call(ctx, "get", request.param("item_id"))
+        return Response(
+            PAGE_SIZES["Bids"] + ROW_HTML * len(rows),
+            data={"bids": len(rows)},
+        )
+
+
+class UserInfoServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_ViewUserInfo")
+        page = yield from facade.call(ctx, "get", request.param("user_id"))
+        return Response(
+            PAGE_SIZES["User Info"] + ROW_HTML * len(page["comments"]),
+            data={"user": page["user"]["nickname"], "comments": len(page["comments"])},
+        )
+
+
+class PutBidAuthServlet(Servlet):
+    """Static authentication form for bidding."""
+
+    def handle(self, ctx, request: WebRequest):
+        return Response(PAGE_SIZES["Put Bid Auth"], data={"page": "Put Bid Auth"})
+
+
+class PutBidFormServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_PutBid")
+        form = yield from facade.call(
+            ctx,
+            "get_form",
+            request.param("user_id"),
+            request.param("password"),
+            request.param("item_id"),
+        )
+        status = 200 if form["authenticated"] else 401
+        return Response(PAGE_SIZES["Put Bid Form"], status=status, data=form)
+
+
+class StoreBidServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_StoreBid")
+        receipt = yield from facade.call(
+            ctx,
+            "store",
+            request.param("user_id"),
+            request.param("item_id"),
+            request.param("increment", 5.0),
+        )
+        return Response(PAGE_SIZES["Store Bid"], data=receipt)
+
+
+class PutCommentAuthServlet(Servlet):
+    """Static authentication form for commenting."""
+
+    def handle(self, ctx, request: WebRequest):
+        return Response(
+            PAGE_SIZES["Put Comment Auth"], data={"page": "Put Comment Auth"}
+        )
+
+
+class PutCommentFormServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_PutComment")
+        form = yield from facade.call(
+            ctx,
+            "get_form",
+            request.param("user_id"),
+            request.param("password"),
+            request.param("to_user"),
+        )
+        status = 200 if form["authenticated"] else 401
+        return Response(PAGE_SIZES["Put Comment Form"], status=status, data=form)
+
+
+class StoreCommentServlet(Servlet):
+    def handle(self, ctx, request: WebRequest):
+        facade = yield from ctx.lookup("SB_StoreComment")
+        receipt = yield from facade.call(
+            ctx,
+            "store",
+            request.param("user_id"),
+            request.param("to_user"),
+            request.param("item_id"),
+            request.param("rating", 1),
+            request.param("text", "great counterpart"),
+        )
+        return Response(PAGE_SIZES["Store Comment"], data=receipt)

@@ -1,0 +1,114 @@
+"""RUBiS service usage patterns (Tables 4 and 5).
+
+Browser: 40-request sessions with the Table 4 weights.  Bidder: the
+seven-page script — "bidder bids on an item and leaves a comment for the
+seller of the item".
+"""
+
+from __future__ import annotations
+
+from ...core.usage import ScriptedPattern, WeightedPattern
+from ...simnet.rng import Streams
+from .data import RubisCatalog
+
+__all__ = ["browser_pattern", "bidder_pattern", "BROWSER_WEIGHTS", "BIDDER_SCRIPT"]
+
+# Table 4: request percentages within a browser session.
+BROWSER_WEIGHTS = {
+    "Main": 2.5,
+    "Browse": 2.5,
+    "All Categories": 2.5,
+    "All Regions": 2.5,
+    "Region": 2.5,
+    "Category": 7.5,
+    "Category & Region": 7.5,
+    "Item": 42.5,
+    "Bids": 15.0,
+    "User Info": 15.0,
+}
+
+BROWSER_SESSION_LENGTH = 40
+
+# Table 5: bid on an item, then comment on its seller.
+BIDDER_SCRIPT = [
+    "Main",
+    "Put Bid Auth",
+    "Put Bid Form",
+    "Store Bid",
+    "Put Comment Auth",
+    "Put Comment Form",
+    "Store Comment",
+]
+
+
+def browser_pattern(catalog: RubisCatalog) -> WeightedPattern:
+    """Table 4's browser with structurally consistent parameters."""
+
+    def params_for(streams: Streams, page: str, previous):
+        rng = "rubis-browser-params"
+        if page == "Region":
+            return {"region_id": streams.choice(rng, catalog.region_ids)}
+        if page == "Category":
+            return {"category_id": streams.choice(rng, catalog.category_ids)}
+        if page == "Category & Region":
+            return {
+                "category_id": streams.choice(rng, catalog.category_ids),
+                "region_id": streams.choice(rng, catalog.region_ids),
+            }
+        if page in ("Item", "Bids"):
+            # Prefer an item of the category just listed.
+            if previous is not None and previous.page in ("Category", "Category & Region"):
+                category_id = previous.params["category_id"]
+                items = catalog.items_by_category.get(category_id) or catalog.item_ids
+            else:
+                items = catalog.item_ids
+            return {"item_id": streams.choice(rng, items)}
+        if page == "User Info":
+            return {"user_id": streams.choice(rng, catalog.user_ids)}
+        return {}
+
+    return WeightedPattern(
+        name="rubis-browser",
+        length=BROWSER_SESSION_LENGTH,
+        weights=BROWSER_WEIGHTS,
+        first_page="Main",
+        params_for=params_for,
+    )
+
+
+def bidder_pattern(catalog: RubisCatalog) -> ScriptedPattern:
+    """Table 5's bidder: one bid, one comment for the item's seller."""
+
+    # Session-scoped draws: the same user bids and comments throughout a
+    # session, and the comment goes to the seller of the bid-upon item.
+    # ScriptedPattern generates a session's visits in one ordered pass, so
+    # re-drawing at the script's first page scopes the identity correctly.
+    session_state = {}
+
+    def params_for(streams: Streams, page: str, index: int):
+        rng = "rubis-bidder-params"
+        if index == 0 or not session_state:
+            session_state["user_id"] = streams.choice(rng, catalog.user_ids)
+            session_state["item_id"] = streams.choice(rng, catalog.item_ids)
+        user_id = session_state["user_id"]
+        item_id = session_state["item_id"]
+        seller = catalog.seller_of_item[item_id]
+        common = {
+            "user_id": user_id,
+            "password": f"password{user_id}",
+            "item_id": item_id,
+        }
+        if page in ("Put Bid Form", "Store Bid"):
+            return dict(common, increment=round(streams.uniform(rng, 1.0, 10.0), 2))
+        if page == "Put Comment Form":
+            return dict(common, to_user=seller)
+        if page == "Store Comment":
+            return dict(
+                common,
+                to_user=seller,
+                rating=streams.choice(rng, [-1, 1]),  # a zero rating would be a no-op write
+                text="pleasure doing business with you",
+            )
+        return {}
+
+    return ScriptedPattern(name="rubis-bidder", script=BIDDER_SCRIPT, params_for=params_for)

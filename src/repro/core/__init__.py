@@ -1,0 +1,45 @@
+"""The paper's contribution layer: patterns, planning, automation, rules.
+
+Typical use::
+
+    from repro.core import PatternLevel, distribute
+    system = distribute(env, testbed, application, PatternLevel.QUERY_CACHING, db)
+"""
+
+from .automation import AutomationReport, configure_for_level
+from .distribution import DeployedSystem, distribute
+from .mutable import MutableServiceManager, RedeploymentAction
+from .patterns import PATTERN_CATALOG, PatternInfo, PatternLevel, level_name
+from .planner import DeploymentPlan, PlanError, plan_deployment
+from .rules import DesignRuleChecker, RuleReport, RuleViolation
+from .usage import (
+    PageVisit,
+    PatternError,
+    ScriptedPattern,
+    UsagePattern,
+    WeightedPattern,
+)
+
+__all__ = [
+    "AutomationReport",
+    "configure_for_level",
+    "DeployedSystem",
+    "distribute",
+    "MutableServiceManager",
+    "RedeploymentAction",
+    "PATTERN_CATALOG",
+    "PatternInfo",
+    "PatternLevel",
+    "level_name",
+    "DeploymentPlan",
+    "PlanError",
+    "plan_deployment",
+    "DesignRuleChecker",
+    "RuleReport",
+    "RuleViolation",
+    "PageVisit",
+    "PatternError",
+    "ScriptedPattern",
+    "UsagePattern",
+    "WeightedPattern",
+]

@@ -1,0 +1,105 @@
+"""Pattern-implementation automation (§5).
+
+The paper argues the read-mostly and query-caching machinery should be
+supplied by containers, configured purely from *extended deployment
+descriptors*.  This module is that container-provider role: given an
+application whose descriptors declare read-mostly beans and cacheable
+queries, it
+
+* filters the extended descriptors to the active :class:`PatternLevel`
+  (replicas only exist from level 3, query caches from level 4),
+* switches the update mode to asynchronous at level 5,
+* registers the auxiliary system components (``UpdaterFacade``
+  everywhere, ``UpdateSubscriber`` MDBs at level 5) so that "developers
+  are freed from implementing tricky update mechanisms that require the
+  deployment of additional auxiliary components".
+
+Application code never references these auxiliaries explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from ..middleware.descriptors import (
+    ApplicationDescriptor,
+    ComponentDescriptor,
+    QueryCacheDescriptor,
+    ReadMostlyDescriptor,
+    UpdateMode,
+)
+from ..middleware.updates import (
+    UPDATE_SUBSCRIBER,
+    UPDATER_FACADE,
+    update_subscriber_descriptor,
+    updater_facade_descriptor,
+)
+from .patterns import PatternLevel
+
+__all__ = ["configure_for_level", "AutomationReport"]
+
+
+class AutomationReport:
+    """What the automation pass did — inspectable by tests and docs."""
+
+    def __init__(self):
+        self.read_mostly_active: list = []
+        self.read_mostly_stripped: list = []
+        self.query_caches_active: list = []
+        self.query_caches_stripped: list = []
+        self.auxiliaries_added: list = []
+        self.mode: UpdateMode = UpdateMode.SYNC
+
+    def summary(self) -> str:
+        return (
+            f"read-mostly: {len(self.read_mostly_active)} active / "
+            f"{len(self.read_mostly_stripped)} stripped; query caches: "
+            f"{len(self.query_caches_active)} active / "
+            f"{len(self.query_caches_stripped)} stripped; auxiliaries: "
+            f"{', '.join(self.auxiliaries_added) or 'none'}; "
+            f"update mode: {self.mode.value}"
+        )
+
+
+def configure_for_level(
+    application: ApplicationDescriptor, level: PatternLevel
+) -> AutomationReport:
+    """Adjust ``application`` (in place) to the given pattern level."""
+    level = PatternLevel(level)
+    report = AutomationReport()
+    mode = UpdateMode.ASYNC if level >= PatternLevel.ASYNC_UPDATES else UpdateMode.SYNC
+    report.mode = mode
+
+    # -- read-mostly entity beans -------------------------------------------
+    for name, descriptor in list(application.components.items()):
+        if descriptor.read_mostly is None:
+            continue
+        if level < PatternLevel.STATEFUL_CACHING:
+            descriptor.read_mostly = None
+            report.read_mostly_stripped.append(name)
+        else:
+            descriptor.read_mostly = replace(descriptor.read_mostly, update_mode=mode)
+            report.read_mostly_active.append(name)
+
+    # -- query caches -----------------------------------------------------------
+    if level < PatternLevel.QUERY_CACHING:
+        report.query_caches_stripped.extend(application.query_caches)
+        application.query_caches = {}
+    else:
+        adjusted: Dict[str, QueryCacheDescriptor] = {}
+        for query_id, cache in application.query_caches.items():
+            adjusted[query_id] = replace(cache, update_mode=mode)
+            report.query_caches_active.append(query_id)
+        application.query_caches = adjusted
+
+    # -- auxiliary system components ------------------------------------------
+    if level >= PatternLevel.STATEFUL_CACHING and UPDATER_FACADE not in application.components:
+        application.add(updater_facade_descriptor())
+        report.auxiliaries_added.append(UPDATER_FACADE)
+    if level >= PatternLevel.ASYNC_UPDATES and UPDATE_SUBSCRIBER not in application.components:
+        application.add(update_subscriber_descriptor())
+        report.auxiliaries_added.append(UPDATE_SUBSCRIBER)
+
+    application.validate()
+    return report

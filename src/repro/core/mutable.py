@@ -1,0 +1,151 @@
+"""Mutable services: demand-driven dynamic redeployment (§1, §6).
+
+The paper's long-term goal — "dynamic demand-driven deployment of
+application components in response to changing environment conditions"
+— is implemented here as a runtime manager that watches replica miss
+rates and server load, and *redeploys* components while the system runs:
+
+* if an edge server receives entity reads it must forward to the main
+  server (no local replica), the manager deploys a read-only replica
+  there on demand;
+* if a stateless façade marked edge-deployable is generating wide-area
+  calls from an edge, the manager deploys it at that edge;
+* deployments happen in simulated time and cost a code-shipping
+  transfer plus container start-up, so adaptation is not free.
+
+This is the paper's "stateful component instantiation and
+(re)deployment can be done on-demand at run-time" claim, made concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..middleware.descriptors import ComponentKind
+from ..middleware.server import AppServer
+from ..middleware.updates import UpdatePropagator
+from ..simnet.kernel import Environment, Event
+from .distribution import DeployedSystem
+
+__all__ = ["RedeploymentAction", "MutableServiceManager"]
+
+COMPONENT_CODE_SIZE = 60_000  # bytes shipped to deploy a component
+CONTAINER_STARTUP_MS = 25.0
+
+
+@dataclass
+class RedeploymentAction:
+    """One adaptation the manager performed."""
+
+    time: float
+    component: str
+    server: str
+    kind: str  # "replica" | "facade"
+    reason: str
+
+
+class MutableServiceManager:
+    """Watches a running deployment and redeploys components on demand."""
+
+    def __init__(
+        self,
+        system: DeployedSystem,
+        check_interval_ms: float = 5_000.0,
+        miss_threshold: int = 5,
+    ):
+        self.system = system
+        self.check_interval_ms = check_interval_ms
+        self.miss_threshold = miss_threshold
+        self.actions: List[RedeploymentAction] = []
+        self._wan_reads: Dict[tuple, int] = {}  # (server, component) -> count
+        self._running = False
+
+    # -- demand signals -----------------------------------------------------
+    def note_wan_read(self, server_name: str, component: str) -> None:
+        """Called by probes/tests when an edge forwards a read to main."""
+        key = (server_name, component)
+        self._wan_reads[key] = self._wan_reads.get(key, 0) + 1
+
+    def _demand_from_trace(self) -> None:
+        trace = self.system.trace
+        if trace is None:
+            return
+        for record in trace.wide_area_calls("rmi"):
+            descriptor = self.system.application.components.get(record.target)
+            if descriptor is None:
+                continue
+            if descriptor.is_entity or (
+                descriptor.kind == ComponentKind.STATELESS_SESSION
+                and descriptor.edge_from_level is not None
+            ):
+                self.note_wan_read(record.src_node, record.target)
+
+    # -- the control loop -----------------------------------------------------
+    def run(self, env: Environment) -> Generator[Event, None, None]:
+        """Periodic adaptation process; start with ``env.process(m.run(env))``."""
+        self._running = True
+        while self._running:
+            yield env.timeout(self.check_interval_ms)
+            self._demand_from_trace()
+            yield from self._adapt(env)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _adapt(self, env: Environment) -> Generator[Event, None, None]:
+        for (server_name, component), count in sorted(self._wan_reads.items()):
+            if count < self.miss_threshold:
+                continue
+            server = self.system.servers.get(server_name)
+            if server is None or server.is_main:
+                continue
+            descriptor = self.system.application.components.get(component)
+            if descriptor is None:
+                continue
+            if descriptor.is_entity and descriptor.read_mostly is not None:
+                if server.readonly_container(component) is None:
+                    yield from self._deploy(env, server, component, "replica", count)
+            elif descriptor.kind == ComponentKind.STATELESS_SESSION:
+                if component not in server.containers:
+                    yield from self._deploy(env, server, component, "facade", count)
+            self._wan_reads[(server_name, component)] = 0
+
+    def _deploy(
+        self,
+        env: Environment,
+        server: AppServer,
+        component: str,
+        kind: str,
+        demand: int,
+    ) -> Generator[Event, None, None]:
+        # Ship the component code from main and start the container.
+        main = self.system.main
+        yield from self.system.testbed.network.transfer(
+            main.node.name, server.node.name, COMPONENT_CODE_SIZE, kind="deploy"
+        )
+        yield from server.node.compute(CONTAINER_STARTUP_MS)
+        descriptor = self.system.application.components[component]
+        server.deploy(descriptor, replica=(kind == "replica"))
+        # Lookup caches may hold remote refs that are now suboptimal.
+        server.home_cache.invalidate()
+        if kind == "replica":
+            self._extend_propagation(server)
+        self.actions.append(
+            RedeploymentAction(
+                time=env.now,
+                component=component,
+                server=server.name,
+                kind=kind,
+                reason=f"{demand} wide-area reads observed",
+            )
+        )
+
+    def _extend_propagation(self, server: AppServer) -> None:
+        """Ensure the new replica host receives update propagation."""
+        main = self.system.main
+        if main.update_propagator is None:
+            main.update_propagator = UpdatePropagator(main, targets=[])
+        targets = main.update_propagator.targets
+        if server not in targets:
+            targets.append(server)

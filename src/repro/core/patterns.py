@@ -1,0 +1,87 @@
+"""The catalog of design patterns/optimizations the paper applies (§4).
+
+Each :class:`PatternLevel` is *cumulative*: level N includes every
+optimization of level N-1, exactly as the paper's five configurations
+build on one another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Tuple
+
+__all__ = ["PatternLevel", "PatternInfo", "PATTERN_CATALOG", "level_name"]
+
+
+class PatternLevel(IntEnum):
+    """The five incremental configurations of §4."""
+
+    CENTRALIZED = 1        # §4.1: everything on the main server
+    REMOTE_FACADE = 2      # §4.2: web + stateful session beans at edges, façades
+    STATEFUL_CACHING = 3   # §4.3: read-only entity replicas, blocking push
+    QUERY_CACHING = 4      # §4.4: aggregate query result caches at edges
+    ASYNC_UPDATES = 5      # §4.5: JMS/MDB asynchronous update propagation
+
+
+@dataclass(frozen=True)
+class PatternInfo:
+    """Human-readable metadata for reports and benchmark labels."""
+
+    level: PatternLevel
+    name: str
+    paper_section: str
+    adds: str
+    expected_effect: str
+
+
+PATTERN_CATALOG: Dict[PatternLevel, PatternInfo] = {
+    PatternLevel.CENTRALIZED: PatternInfo(
+        PatternLevel.CENTRALIZED,
+        "Centralized",
+        "4.1",
+        "nothing — single-server baseline",
+        "remote clients pay ~2 WAN round trips (TCP handshake + HTTP) per page",
+    ),
+    PatternLevel.REMOTE_FACADE: PatternInfo(
+        PatternLevel.REMOTE_FACADE,
+        "Remote façade",
+        "4.2",
+        "web components and stateful session beans at edges; all shared-data "
+        "access funnelled through session façades co-located with the data; "
+        "home/remote stub caching (EJBHomeFactory)",
+        "session-only pages become local for remote clients; shared-data pages "
+        "cost exactly one wide-area RMI call",
+    ),
+    PatternLevel.STATEFUL_CACHING: PatternInfo(
+        PatternLevel.STATEFUL_CACHING,
+        "Stateful component caching",
+        "4.3",
+        "read-only entity bean replicas at edges (read-mostly pattern) with a "
+        "blocking, push-based, zero-staleness update protocol",
+        "entity-backed read pages become local everywhere; write pages slow "
+        "down because writers block on WAN pushes",
+    ),
+    PatternLevel.QUERY_CACHING: PatternInfo(
+        PatternLevel.QUERY_CACHING,
+        "Query caching",
+        "4.4",
+        "aggregate SQL query result caches in edge servers with declarative "
+        "invalidation",
+        "aggregate-query pages become local for remote clients; un-cacheable "
+        "keyword search still crosses the WAN; writers still block",
+    ),
+    PatternLevel.ASYNC_UPDATES: PatternInfo(
+        PatternLevel.ASYNC_UPDATES,
+        "Asynchronous updates",
+        "4.5",
+        "the synchronous update façade is replaced by a JMS topic and "
+        "message-driven bean façades on the edges",
+        "write pages return to façade-level latency; reads stay local; "
+        "staleness bounded by one-way propagation delay",
+    ),
+}
+
+
+def level_name(level: PatternLevel) -> str:
+    return PATTERN_CATALOG[PatternLevel(level)].name

@@ -1,0 +1,122 @@
+"""Deployment planning: which component goes on which server at each level.
+
+The planner encodes the paper's placement rules:
+
+* **Level 1** (centralized): everything on the main server.
+* **Level ≥ 2**: web components and stateful session beans replicate to
+  every server ("session-oriented stateful components ... can be
+  deployed in edge servers for better locality"); shared stateful
+  components and their façades stay with the database.
+* **Level ≥ 3**: read-only replicas of read-mostly entity beans deploy
+  on *all* servers (the main server benefits too — "slightly improved
+  for the local browser due to read-only bean caching versus database
+  access"), along with any stateless façade whose descriptor marks it
+  edge-deployable from this level (Pet Store's ``Catalog``, RUBiS's
+  ``SB_View*`` beans).
+* **Level ≥ 4**: query caches activate on every server.
+* **Level 5**: ``UpdateSubscriber`` MDBs deploy wherever replicas live.
+
+A façade plus its co-located domain entities is the paper's "unit of
+distribution"; the plan realizes exactly that granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..middleware.descriptors import ApplicationDescriptor, ComponentKind
+from .patterns import PatternLevel
+
+__all__ = ["DeploymentPlan", "plan_deployment", "PlanError"]
+
+
+class PlanError(Exception):
+    """Raised when a placement cannot be satisfied."""
+
+
+@dataclass
+class DeploymentPlan:
+    """Component-to-server placement for one configuration."""
+
+    level: PatternLevel
+    main: str
+    edges: List[str]
+    placements: Dict[str, List[str]] = field(default_factory=dict)
+    replicas: Dict[str, List[str]] = field(default_factory=dict)
+    query_cache_servers: List[str] = field(default_factory=list)
+
+    @property
+    def all_servers(self) -> List[str]:
+        return [self.main] + list(self.edges)
+
+    def servers_of(self, component: str) -> List[str]:
+        return self.placements.get(component, [])
+
+    def replica_servers_of(self, component: str) -> List[str]:
+        return self.replicas.get(component, [])
+
+    def components_on(self, server: str) -> List[str]:
+        return sorted(
+            name for name, servers in self.placements.items() if server in servers
+        )
+
+    def describe(self) -> str:
+        lines = [f"deployment plan (level {int(self.level)}: {self.level.name})"]
+        for server in self.all_servers:
+            components = self.components_on(server)
+            replica_names = sorted(
+                name for name, servers in self.replicas.items() if server in servers
+            )
+            lines.append(
+                f"  {server}: {', '.join(components) or '-'}"
+                + (f" | replicas: {', '.join(replica_names)}" if replica_names else "")
+            )
+        if self.query_cache_servers:
+            lines.append(f"  query caches on: {', '.join(self.query_cache_servers)}")
+        return "\n".join(lines)
+
+
+def plan_deployment(
+    application: ApplicationDescriptor,
+    main: str,
+    edges: List[str],
+    level: PatternLevel,
+) -> DeploymentPlan:
+    """Compute the placement for ``application`` at ``level``.
+
+    Call *after* :func:`repro.core.automation.configure_for_level`, so
+    extended descriptors already reflect the level.
+    """
+    level = PatternLevel(level)
+    plan = DeploymentPlan(level=level, main=main, edges=list(edges))
+    everywhere = plan.all_servers
+
+    for name, descriptor in application.components.items():
+        if descriptor.kind in (ComponentKind.SERVLET, ComponentKind.STATEFUL_SESSION):
+            placement = [main] if level < PatternLevel.REMOTE_FACADE else list(everywhere)
+        elif descriptor.kind == ComponentKind.STATELESS_SESSION:
+            placement = [main]
+            threshold = descriptor.edge_from_level
+            if threshold is not None and level >= threshold:
+                placement = list(everywhere)
+        elif descriptor.kind == ComponentKind.ENTITY:
+            placement = [main]
+            if descriptor.read_mostly is not None:
+                plan.replicas[name] = list(everywhere)
+        elif descriptor.kind == ComponentKind.MESSAGE_DRIVEN:
+            # Update subscribers live wherever replicas or caches live.
+            placement = list(everywhere) if level >= PatternLevel.ASYNC_UPDATES else [main]
+        else:  # pragma: no cover - enum is closed
+            raise PlanError(f"unplaceable component kind {descriptor.kind}")
+        plan.placements[name] = placement
+
+    if level >= PatternLevel.QUERY_CACHING and application.query_caches:
+        plan.query_cache_servers = list(everywhere)
+
+    # Sanity: every page's servlet must exist wherever clients connect.
+    for page, servlet in application.servlets.items():
+        if main not in plan.placements.get(servlet, []):
+            raise PlanError(f"servlet {servlet!r} for page {page!r} missing on main")
+
+    return plan

@@ -1,0 +1,230 @@
+"""Design-rule enforcement (§5): check deployments and traces.
+
+The paper distils its findings into enforceable rules.  This checker
+verifies them against a deployment plus the call trace of a simulation
+run, producing a structured report:
+
+* **R1 — façade-only remote access**: only components with remote
+  interfaces are invoked across the network; entity beans expose local
+  interfaces only.  (Violations are also raised at runtime by
+  :class:`~repro.middleware.rmi.RemoteRef`; the checker catches
+  descriptor-level risk even before running.)
+* **R2 — one wide-area call per page**: serving any page incurs at most
+  ``max_wan_calls_per_request`` wide-area RMI/JDBC calls (the paper's
+  stated exception: Verify Signin makes two).
+* **R3 — session state at the edge**: at level ≥ 2, session-oriented
+  state is created on the server the client connects to, never fetched
+  across the WAN.
+* **R4 — shared read-mostly state cached at the edge**: at level ≥ 3,
+  read-only replicas serve a healthy fraction of entity reads locally.
+* **R5 — no blocking wide-area writes**: at level 5, transaction commits
+  never block on synchronous WAN pushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..simnet.monitor import Trace
+from .distribution import DeployedSystem
+from .patterns import PatternLevel
+
+__all__ = ["RuleViolation", "RuleReport", "DesignRuleChecker"]
+
+
+@dataclass
+class RuleViolation:
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class RuleReport:
+    """Outcome of a checker run."""
+
+    level: PatternLevel
+    violations: List[RuleViolation] = field(default_factory=list)
+    checked_rules: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violations_of(self, rule: str) -> List[RuleViolation]:
+        return [v for v in self.violations if v.rule == rule]
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else f"{len(self.violations)} violation(s)"
+        lines = [f"design rules at level {int(self.level)}: {status}"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class DesignRuleChecker:
+    """Checks the five design rules against a deployment and its trace."""
+
+    def __init__(
+        self,
+        system: DeployedSystem,
+        max_wan_calls_per_request: int = 1,
+        page_exceptions: Optional[Dict[str, int]] = None,
+        min_replica_hit_rate: float = 0.5,
+    ):
+        self.system = system
+        self.max_wan_calls_per_request = max_wan_calls_per_request
+        # Pages allowed a higher budget, e.g. {"Verify Signin": 2} (§4.2).
+        self.page_exceptions = dict(page_exceptions or {})
+        self.min_replica_hit_rate = min_replica_hit_rate
+
+    def check(self, trace: Optional[Trace] = None) -> RuleReport:
+        trace = trace if trace is not None else self.system.trace
+        report = RuleReport(level=self.system.level)
+        self._check_r1(report, trace)
+        if self.system.level >= PatternLevel.REMOTE_FACADE:
+            self._check_r2(report, trace)
+            self._check_r3(report)
+        if self.system.level >= PatternLevel.STATEFUL_CACHING:
+            self._check_r4(report)
+        if self.system.level >= PatternLevel.ASYNC_UPDATES:
+            self._check_r5(report)
+        return report
+
+    # -- R1 -----------------------------------------------------------------
+    def _check_r1(self, report: RuleReport, trace: Optional[Trace]) -> None:
+        report.checked_rules.append("R1")
+        application = self.system.application
+        for name, descriptor in application.components.items():
+            if descriptor.is_entity and descriptor.remote_interface:
+                report.violations.append(
+                    RuleViolation(
+                        "R1",
+                        name,
+                        "entity bean exposes a remote interface; entities must be "
+                        "local-only so web tiers cannot bypass façades",
+                    )
+                )
+        if trace is None:
+            return
+        for record in trace.wide_area_calls("rmi"):
+            descriptor = application.components.get(record.target)
+            if descriptor is not None and not descriptor.remote_interface:
+                report.violations.append(
+                    RuleViolation(
+                        "R1",
+                        record.target,
+                        f"invoked across the WAN ({record.src_node} -> "
+                        f"{record.dst_node}) without a remote interface",
+                    )
+                )
+
+    # -- R2 -----------------------------------------------------------------
+    def _check_r2(self, report: RuleReport, trace: Optional[Trace]) -> None:
+        report.checked_rules.append("R2")
+        if trace is None:
+            return
+        wan_calls_by_request: Dict[int, int] = {}
+        request_page: Dict[int, str] = {}
+        from ..middleware.updates import UPDATER_FACADE
+
+        for record in trace.records:
+            if record.request_id is None or not record.wide_area:
+                continue
+            # JNDI lookups are excluded: the EJBHomeFactory cache makes
+            # them one-time costs, not per-request behaviour.  So is
+            # replica-maintenance traffic (the §4.3 blocking push rides on
+            # the committing request but is not a client-path call).
+            if record.kind not in ("rmi", "jdbc"):
+                continue
+            if record.target == UPDATER_FACADE:
+                continue
+            wan_calls_by_request[record.request_id] = (
+                wan_calls_by_request.get(record.request_id, 0) + 1
+            )
+            if record.page is not None:
+                request_page[record.request_id] = record.page
+        worst: Dict[str, int] = {}
+        for request_id, count in wan_calls_by_request.items():
+            page = request_page.get(request_id, "?")
+            worst[page] = max(worst.get(page, 0), count)
+        report.metrics["max_wan_calls_seen"] = float(max(worst.values()) if worst else 0)
+        for page, count in sorted(worst.items()):
+            budget = self.page_exceptions.get(page, self.max_wan_calls_per_request)
+            if count > budget:
+                report.violations.append(
+                    RuleViolation(
+                        "R2",
+                        page,
+                        f"a request incurred {count} wide-area calls "
+                        f"(budget {budget})",
+                    )
+                )
+
+    # -- R3 -----------------------------------------------------------------
+    def _check_r3(self, report: RuleReport) -> None:
+        report.checked_rules.append("R3")
+        plan = self.system.plan
+        for name, descriptor in self.system.application.components.items():
+            if descriptor.kind.value in ("stateful-session", "servlet"):
+                placed = set(plan.servers_of(name))
+                missing = [e for e in plan.edges if e not in placed]
+                if missing:
+                    report.violations.append(
+                        RuleViolation(
+                            "R3",
+                            name,
+                            f"session-oriented component missing from edge "
+                            f"server(s) {missing} at level >= 2",
+                        )
+                    )
+
+    # -- R4 -----------------------------------------------------------------
+    def _check_r4(self, report: RuleReport) -> None:
+        report.checked_rules.append("R4")
+        for server in self.system.edges:
+            for name in self.system.plan.replicas:
+                container = server.readonly_container(name)
+                if container is None:
+                    report.violations.append(
+                        RuleViolation(
+                            "R4", name, f"replica not deployed on {server.name}"
+                        )
+                    )
+                    continue
+                total = container.hits + container.misses
+                if total == 0:
+                    continue
+                rate = container.hits / total
+                report.metrics[f"hit_rate:{name}@{server.name}"] = rate
+                if rate < self.min_replica_hit_rate:
+                    report.violations.append(
+                        RuleViolation(
+                            "R4",
+                            f"{name}@{server.name}",
+                            f"replica hit rate {rate:.0%} below "
+                            f"{self.min_replica_hit_rate:.0%}",
+                        )
+                    )
+
+    # -- R5 -----------------------------------------------------------------
+    def _check_r5(self, report: RuleReport) -> None:
+        report.checked_rules.append("R5")
+        propagator = self.system.main.update_propagator
+        if propagator is None:
+            return
+        report.metrics["sync_pushes"] = float(propagator.sync_pushes)
+        report.metrics["async_publishes"] = float(propagator.async_publishes)
+        if propagator.sync_pushes > 0:
+            report.violations.append(
+                RuleViolation(
+                    "R5",
+                    "UpdatePropagator",
+                    f"{propagator.sync_pushes} commits blocked on synchronous "
+                    "WAN pushes at level 5",
+                )
+            )

@@ -1,0 +1,150 @@
+"""Service usage patterns (§3.2).
+
+A *service usage pattern* is "a frequently executed scenario of service
+invocation, which reflects typical client behaviour".  Two shapes cover
+the paper's four patterns:
+
+* :class:`WeightedPattern` — browsers: sessions of N page requests drawn
+  from a weighted mix, with structural constraints (an Item page always
+  follows a Product page, every session starts at Main, ...);
+* :class:`ScriptedPattern` — buyers/bidders: a fixed sequence of pages
+  emphasizing the write path.
+
+Patterns produce :class:`PageVisit` streams; the workload generator
+turns them into timed HTTP requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..simnet.rng import Streams
+
+__all__ = [
+    "PageVisit",
+    "UsagePattern",
+    "WeightedPattern",
+    "ScriptedPattern",
+    "PatternError",
+]
+
+
+class PatternError(Exception):
+    """Raised for malformed pattern definitions."""
+
+
+@dataclass
+class PageVisit:
+    """One page request within a session."""
+
+    page: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+class UsagePattern:
+    """Base class: generates the page sequence of one client session."""
+
+    name = "pattern"
+
+    def session(self, streams: Streams, session_index: int) -> List[PageVisit]:
+        """The ordered page visits of one session."""
+        raise NotImplementedError
+
+
+class WeightedPattern(UsagePattern):
+    """Browser-style sessions: weighted page mix with follow-on rules.
+
+    ``weights`` maps page name to relative request frequency (the
+    percentages of Tables 2 and 4).  ``params_for`` supplies page
+    parameters, and may depend on the previous visit so that "a request
+    of an Item page always goes after a request for a Product page, such
+    that the requested item belongs to the previously requested product".
+    ``follows`` optionally forces a page to be preceded by another: when
+    the sampler draws page P with ``follows[P] = Q`` and the previous
+    page was not Q, a Q visit is inserted first (still counted toward the
+    session length).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        length: int,
+        weights: Dict[str, float],
+        first_page: str,
+        params_for: Optional[Callable] = None,
+        follows: Optional[Dict[str, str]] = None,
+    ):
+        if length < 1:
+            raise PatternError("session length must be at least 1")
+        if first_page not in weights and first_page is not None:
+            # The entry page may have zero sampling weight; that is fine.
+            pass
+        if not weights:
+            raise PatternError("weights must not be empty")
+        for page, weight in weights.items():
+            if weight < 0:
+                raise PatternError(f"negative weight for page {page!r}")
+        self.name = name
+        self.length = length
+        self.weights = dict(weights)
+        self.first_page = first_page
+        self.params_for = params_for or (lambda streams, page, prev: {})
+        self.follows = dict(follows or {})
+
+    def session(self, streams: Streams, session_index: int) -> List[PageVisit]:
+        stream_name = f"pattern:{self.name}"
+        pages = list(self.weights.keys())
+        weights = [self.weights[p] for p in pages]
+        visits: List[PageVisit] = []
+        previous: Optional[PageVisit] = None
+
+        def visit(page: str) -> PageVisit:
+            nonlocal previous
+            params = self.params_for(streams, page, previous)
+            page_visit = PageVisit(page, params)
+            visits.append(page_visit)
+            previous = page_visit
+            return page_visit
+
+        visit(self.first_page)
+        while len(visits) < self.length:
+            page = streams.weighted_choice(stream_name, pages, weights)
+            required = self.follows.get(page)
+            if required is not None and (previous is None or previous.page != required):
+                visit(required)
+                if len(visits) >= self.length:
+                    break
+            visit(page)
+        return visits[: self.length]
+
+
+class ScriptedPattern(UsagePattern):
+    """Buyer/bidder-style sessions: a fixed page script.
+
+    ``script`` is a sequence of page names; ``params_for`` supplies each
+    visit's parameters (e.g. which item to buy or bid on).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        script: Sequence[str],
+        params_for: Optional[Callable] = None,
+    ):
+        if not script:
+            raise PatternError("script must not be empty")
+        self.name = name
+        self.script = list(script)
+        self.params_for = params_for or (lambda streams, page, index: {})
+
+    @property
+    def length(self) -> int:
+        return len(self.script)
+
+    def session(self, streams: Streams, session_index: int) -> List[PageVisit]:
+        visits = []
+        for index, page in enumerate(self.script):
+            params = self.params_for(streams, page, index)
+            visits.append(PageVisit(page, params))
+        return visits

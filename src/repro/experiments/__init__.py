@@ -1,0 +1,24 @@
+"""The paper's evaluation: configurations, runner, tables, figures."""
+
+from . import calibration
+from .figures import FigureData, build_figure, figure_to_csv, render_figure
+from .runner import APPS, AppSpec, ExperimentResult, run_configuration, run_series
+from .tables import ResponseTimeTable, TableCell, build_table, render_table, table_to_csv
+
+__all__ = [
+    "calibration",
+    "FigureData",
+    "build_figure",
+    "render_figure",
+    "figure_to_csv",
+    "APPS",
+    "AppSpec",
+    "ExperimentResult",
+    "run_configuration",
+    "run_series",
+    "ResponseTimeTable",
+    "TableCell",
+    "build_table",
+    "render_table",
+    "table_to_csv",
+]

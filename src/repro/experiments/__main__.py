@@ -1,0 +1,95 @@
+"""Command-line entry point for regenerating the paper's artifacts.
+
+Usage::
+
+    python -m repro.experiments table6            # Pet Store, Table 6
+    python -m repro.experiments table7            # RUBiS, Table 7
+    python -m repro.experiments figure7           # Pet Store, Figure 7
+    python -m repro.experiments figure8           # RUBiS, Figure 8
+    python -m repro.experiments all               # everything
+    python -m repro.experiments table6 --duration 120 --warmup 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .calibration import SIM_DURATION_MS, SIM_WARMUP_MS, default_workload
+from .figures import build_figure, figure_to_csv, render_figure
+from .runner import run_series
+from .tables import build_table, render_table, table_to_csv
+
+TARGETS = {
+    "table6": ("petstore", "table"),
+    "table7": ("rubis", "table"),
+    "figure7": ("petstore", "figure"),
+    "figure8": ("rubis", "figure"),
+}
+ABLATION_TARGET = "ablations"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(TARGETS) + ["all", ABLATION_TARGET],
+        help="artifact to regenerate",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=SIM_DURATION_MS / 1000.0,
+        help="simulated seconds per configuration (default %(default)s)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=SIM_WARMUP_MS / 1000.0,
+        help="simulated warm-up seconds excluded from statistics",
+    )
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of the text layout"
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == ABLATION_TARGET:
+        from . import ablations
+
+        for name in ablations.__all__:
+            print(f"\n== {name} ==")
+            outcome = getattr(ablations, name)()
+            for key, value in outcome.items():
+                print(f"  {key}: {value}")
+        return 0
+
+    targets = sorted(TARGETS) if args.target == "all" else [args.target]
+    workload = default_workload(args.duration * 1000.0, args.warmup * 1000.0)
+
+    series_cache = {}
+    for target in targets:
+        app, kind = TARGETS[target]
+        if app not in series_cache:
+            print(
+                f"[{app}] running 5 configurations x {args.duration:.0f}s "
+                f"simulated ...",
+                file=sys.stderr,
+            )
+            series_cache[app] = run_series(app, workload=workload, seed=args.seed)
+        series = series_cache[app]
+        print()
+        if kind == "table":
+            table = build_table(series)
+            print(table_to_csv(table) if args.csv else render_table(table))
+        else:
+            figure = build_figure(series)
+            print(figure_to_csv(figure) if args.csv else render_figure(figure))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Lightweight measurement probes.
+
+Where the full workload harness (30 req/s for simulated minutes) is
+overkill — ablations, claim checks, unit-style latency assertions — a
+probe issues a fixed sequence of page requests from one client and
+reports warm-request latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.distribution import DeployedSystem
+from ..middleware.web import WebRequest, http_get
+from ..simnet.kernel import Environment
+
+__all__ = ["PageProbe", "ProbeResult", "measure_pages"]
+
+
+@dataclass
+class ProbeResult:
+    """Per-page latency samples from one probe run."""
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, page: str, value: float) -> None:
+        self.samples.setdefault(page, []).append(value)
+
+    def mean(self, page: str, discard: int = 0) -> float:
+        values = self.samples.get(page, [])[discard:]
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def last(self, page: str) -> float:
+        values = self.samples.get(page, [])
+        return values[-1] if values else float("nan")
+
+    def pages(self) -> List[str]:
+        return sorted(self.samples)
+
+
+@dataclass
+class PageProbe:
+    """A scripted probe client."""
+
+    system: DeployedSystem
+    client_node: str
+    group: str = "probe"
+
+    def run(
+        self,
+        env: Environment,
+        pages: Sequence[Tuple[str, dict]],
+        repeats: int = 3,
+        session_prefix: str = "probe",
+    ) -> ProbeResult:
+        """Issue ``pages`` ``repeats`` times; returns all samples."""
+        result = ProbeResult()
+
+        def process():
+            server = self.system.entry_server_for(self.client_node)
+            for repeat in range(repeats):
+                session_id = f"{session_prefix}-{repeat}"
+                for page, params in pages:
+                    request = WebRequest(
+                        page=page,
+                        params=dict(params),
+                        session_id=session_id,
+                        client_node=self.client_node,
+                    )
+                    started = env.now
+                    yield from http_get(env, server, request, client_group=self.group)
+                    result.add(page, env.now - started)
+
+        env.process(process(), name=f"probe-{self.client_node}")
+        env.run()
+        return result
+
+
+def measure_pages(
+    system: DeployedSystem,
+    env: Environment,
+    client_node: str,
+    pages: Sequence[Tuple[str, dict]],
+    repeats: int = 3,
+    discard: int = 1,
+) -> Dict[str, float]:
+    """Warm mean latency per page (first ``discard`` repeats dropped)."""
+    probe = PageProbe(system, client_node)
+    result = probe.run(env, pages, repeats=repeats)
+    return {page: result.mean(page, discard=discard) for page, _params in pages}

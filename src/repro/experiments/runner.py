@@ -1,0 +1,188 @@
+"""Experiment orchestration: one function per (application, configuration).
+
+``run_configuration`` stands up the full testbed — network, database,
+application servers, client population — runs it for the configured
+simulated duration, and returns the response-time monitor plus the
+deployed system for inspection.  ``run_series`` sweeps all five pattern
+levels, which is exactly the data behind Tables 6/7 and Figures 7/8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..apps import petstore, rubis
+from ..core.distribution import DeployedSystem, distribute
+from ..core.patterns import PatternLevel
+from ..simnet.kernel import Environment
+from ..simnet.monitor import ResponseTimeMonitor, Trace
+from ..simnet.topology import build_testbed
+from ..workload.generator import LoadGenerator, WorkloadConfig
+from . import calibration
+
+__all__ = ["AppSpec", "APPS", "ExperimentResult", "run_configuration", "run_series"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Everything the runner needs to know about one application."""
+
+    name: str
+    build_application: Callable
+    populate: Callable
+    browser_pattern: Callable
+    writer_pattern: Callable
+    writer_group: str
+    costs: object
+    db_costs: object
+    testbed_config: Callable
+    browser_pages: tuple
+    writer_pages: tuple
+    # catalog -> {query_id: [param tuples]} used to pre-warm query caches.
+    warm_queries: Callable = None
+
+
+APPS: Dict[str, AppSpec] = {
+    "petstore": AppSpec(
+        name="petstore",
+        build_application=petstore.build_application,
+        populate=petstore.populate_petstore,
+        browser_pattern=petstore.browser_pattern,
+        writer_pattern=petstore.buyer_pattern,
+        writer_group="buyer",
+        costs=calibration.PETSTORE_COSTS,
+        db_costs=calibration.PETSTORE_DB_COSTS,
+        testbed_config=calibration.petstore_testbed_config,
+        browser_pages=tuple(petstore.BROWSER_PAGES),
+        writer_pages=tuple(petstore.BUYER_PAGES),
+        warm_queries=lambda catalog: {
+            "petstore.products_of_category": [(c,) for c in catalog.category_ids],
+            "petstore.items_of_product": [(p,) for p in catalog.product_ids],
+        },
+    ),
+    "rubis": AppSpec(
+        name="rubis",
+        build_application=rubis.build_application,
+        populate=rubis.populate_rubis,
+        browser_pattern=rubis.browser_pattern,
+        writer_pattern=rubis.bidder_pattern,
+        writer_group="bidder",
+        costs=calibration.RUBIS_COSTS,
+        db_costs=calibration.RUBIS_DB_COSTS,
+        testbed_config=calibration.rubis_testbed_config,
+        browser_pages=tuple(rubis.BROWSER_PAGES),
+        writer_pages=tuple(rubis.BIDDER_PAGES),
+        warm_queries=lambda catalog: {
+            "rubis.all_categories": [()],
+            "rubis.all_regions": [()],
+            "rubis.items_in_category": [(c,) for c in catalog.category_ids],
+            "rubis.items_in_category_region": [
+                (c, r) for c in catalog.category_ids for r in catalog.region_ids
+            ],
+            "rubis.bid_history": [(i,) for i in catalog.item_ids],
+            "rubis.user_comments": [(u,) for u in catalog.user_ids],
+        },
+    ),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one configuration run."""
+
+    app: str
+    level: PatternLevel
+    monitor: ResponseTimeMonitor
+    system: DeployedSystem
+    generator: LoadGenerator
+    wall_seconds: float
+    trace: Optional[Trace] = None
+
+    def mean(self, group: str, page: str) -> float:
+        return self.monitor.mean(group, page)
+
+    def session_mean(self, group: str) -> float:
+        return self.monitor.session_mean(group)
+
+    def groups(self) -> List[str]:
+        return self.monitor.groups()
+
+
+def run_configuration(
+    app: str,
+    level: PatternLevel,
+    workload: Optional[WorkloadConfig] = None,
+    seed: int = calibration.MASTER_SEED,
+    with_trace: bool = False,
+    costs_override=None,
+    sizes: Optional[dict] = None,
+    warm_replicas: bool = True,
+) -> ExperimentResult:
+    """Run one (application, pattern level) cell of the evaluation."""
+    from ..simnet.rng import Streams
+
+    spec = APPS[app]
+    level = PatternLevel(level)
+    workload = workload or calibration.default_workload()
+
+    streams = Streams(seed)
+    database, catalog = spec.populate(streams, sizes)
+    env = Environment()
+    testbed = build_testbed(env, spec.testbed_config())
+    trace = Trace(max_records=2_000_000) if with_trace else None
+    application = spec.build_application(level, catalog=catalog)
+    system = distribute(
+        env,
+        testbed,
+        application,
+        level,
+        database,
+        costs=costs_override or spec.costs,
+        db_cost_model=spec.db_costs,
+        trace=trace,
+    )
+    if warm_replicas:
+        # Stand-in for the paper's measurement-excluded warm-up hour:
+        # read-only replicas and query caches start hot.
+        system.warm_replicas()
+        if spec.warm_queries is not None:
+            system.warm_query_caches(spec.warm_queries(catalog))
+    generator = LoadGenerator(
+        system,
+        streams,
+        spec.browser_pattern(catalog),
+        spec.writer_pattern(catalog),
+        config=workload,
+        writer_group_name=spec.writer_group,
+    )
+    started = time.perf_counter()
+    monitor = generator.run(env)
+    wall = time.perf_counter() - started
+    return ExperimentResult(
+        app=app,
+        level=level,
+        monitor=monitor,
+        system=system,
+        generator=generator,
+        wall_seconds=wall,
+        trace=trace,
+    )
+
+
+def run_series(
+    app: str,
+    levels=None,
+    workload: Optional[WorkloadConfig] = None,
+    seed: int = calibration.MASTER_SEED,
+    with_trace: bool = False,
+) -> Dict[PatternLevel, ExperimentResult]:
+    """All five configurations of one application (Tables 6/7)."""
+    levels = [PatternLevel(l) for l in (levels or list(PatternLevel))]
+    return {
+        level: run_configuration(
+            app, level, workload=workload, seed=seed, with_trace=with_trace
+        )
+        for level in levels
+    }

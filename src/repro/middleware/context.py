@@ -1,0 +1,245 @@
+"""Invocation and transaction contexts threaded through component code.
+
+Every component method in this middleware is a generator taking an
+:class:`InvocationContext` as its first argument.  The context knows
+*where* the code is running (which application server), *why* (which
+page request), and *within what* (which transaction) — so the same
+application code runs unmodified under any deployment, and distribution
+costs arise purely from placement.  That placement-obliviousness is the
+heart of the paper's container-mediated approach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from ..simnet.kernel import Environment, Event
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from .costs import MiddlewareCosts
+    from .server import AppServer
+    from ..simnet.monitor import Trace
+
+__all__ = [
+    "RequestInfo",
+    "UpdateEvent",
+    "TransactionContext",
+    "InvocationContext",
+    "TransactionError",
+]
+
+
+class TransactionError(Exception):
+    """Raised on transaction lifecycle misuse in the middleware layer."""
+
+
+_request_ids = itertools.count(1)
+_transaction_ids = itertools.count(1)
+
+
+@dataclass
+class RequestInfo:
+    """Identity of the client page request being served."""
+
+    page: str
+    client_group: str
+    session_id: str
+    client_node: str
+    id: int = field(default_factory=lambda: next(_request_ids))
+
+
+@dataclass
+class UpdateEvent:
+    """One committed write that must reach read-only replicas/caches.
+
+    ``state`` is the full post-commit entity state (the paper notes that
+    pushing only changed fields is an optimization; ``changed_fields``
+    carries that information for the delta-push variant).
+    """
+
+    component: str
+    table: str
+    primary_key: Any
+    state: Dict[str, Any]
+    changed_fields: tuple = ()
+    deleted: bool = False
+    inserted: bool = False
+    # True when ``state`` carries only the changed fields (the §4.3
+    # "transferring only the changes" optimization).
+    partial: bool = False
+
+
+class TransactionContext:
+    """A container-managed transaction spanning beans and the database.
+
+    Collects: dirty entity instances to ``ejbStore`` at commit, JDBC
+    connections to commit, and update events to propagate to edge
+    replicas.  The commit sequence reproduces §4.3/§4.5: store, database
+    commit, then *blocking* synchronous push (or non-blocking asynchronous
+    publish) of replica updates.
+    """
+
+    def __init__(self, ctx: "InvocationContext", read_only_hint: bool = False):
+        self.id = next(_transaction_ids)
+        self.origin = ctx.server.name if ctx.server else "?"
+        self.read_only = True  # flips on first write
+        self.read_only_hint = read_only_hint
+        self.state = "active"
+        self._enlisted_entities: List[tuple] = []  # (container, instance)
+        self._enlisted_seen: set = set()
+        self._connections: List[Any] = []  # JdbcConnection, committed in order
+        self.update_events: List[UpdateEvent] = []
+        self.query_invalidations: List[tuple] = []  # (query_id, params-or-None)
+        # Scratch space for containers (per-tx entity instance caches,
+        # enlisted JDBC connections by datasource, ...), keyed by owner.
+        self.resources: Dict[Any, Any] = {}
+
+    # -- enlistment -----------------------------------------------------------
+    def enlist_entity(self, container: Any, instance: Any) -> None:
+        key = (id(container), getattr(instance, "primary_key", id(instance)))
+        if key in self._enlisted_seen:
+            return
+        self._enlisted_seen.add(key)
+        self._enlisted_entities.append((container, instance))
+
+    def enlist_connection(self, connection: Any) -> None:
+        if connection not in self._connections:
+            self._connections.append(connection)
+
+    def mark_write(self) -> None:
+        if self.read_only_hint:
+            raise TransactionError("write inside a transaction hinted read-only")
+        self.read_only = False
+
+    def add_update_event(self, event: UpdateEvent) -> None:
+        self.update_events.append(event)
+
+    def add_query_invalidation(self, query_id: str, params: Optional[tuple]) -> None:
+        self.query_invalidations.append((query_id, params))
+
+    # -- completion -----------------------------------------------------------
+    def commit(self, ctx: "InvocationContext") -> Generator[Event, Any, None]:
+        if self.state != "active":
+            raise TransactionError(f"commit on a {self.state} transaction")
+        # 1. Synchronize dirty (or all, with the unoptimized ejbStore
+        #    behaviour) entity instances back to the database.
+        for container, instance in self._enlisted_entities:
+            yield from container.store_instance(ctx, self, instance)
+        # 2. Commit every enlisted database connection.
+        for connection in self._connections:
+            if connection.session.in_transaction:
+                yield from connection.commit()
+            connection.close()
+        self.state = "committed"
+        # 3. Propagate updates to edge replicas (blocking iff synchronous).
+        #    Propagation runs outside this (now completed) transaction —
+        #    its refresh queries auto-commit on fresh connections.
+        propagator = ctx.server.update_propagator if ctx.server else None
+        if propagator is not None and (self.update_events or self.query_invalidations):
+            post_commit_ctx = ctx.in_transaction(None)
+            yield from propagator.propagate(
+                post_commit_ctx, self.update_events, self.query_invalidations
+            )
+
+    def rollback(self, ctx: "InvocationContext") -> Generator[Event, Any, None]:
+        if self.state != "active":
+            raise TransactionError(f"rollback on a {self.state} transaction")
+        for container, instance in self._enlisted_entities:
+            container.discard_instance(instance)
+        for connection in self._connections:
+            if connection.session.in_transaction:
+                yield from connection.rollback()
+            connection.close()
+        self.update_events.clear()
+        self.query_invalidations.clear()
+        self.state = "aborted"
+
+
+class InvocationContext:
+    """Where/why/within-what a component method is executing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: "AppServer",
+        request: RequestInfo,
+        costs: "MiddlewareCosts",
+        trace: Optional["Trace"] = None,
+        transaction: Optional[TransactionContext] = None,
+        depth: int = 0,
+    ):
+        self.env = env
+        self.server = server
+        self.request = request
+        self.costs = costs
+        self.trace = trace
+        self.transaction = transaction
+        self.depth = depth
+
+    # -- derived contexts -----------------------------------------------------
+    def at_server(self, server: "AppServer") -> "InvocationContext":
+        """The context seen by the callee of a cross-server RMI call.
+
+        The transaction does NOT propagate across servers: remote façade
+        calls start their own container-managed transactions, which is
+        how the EJB deployments in the paper behave (no distributed 2PC
+        across the WAN).
+        """
+        return InvocationContext(
+            env=self.env,
+            server=server,
+            request=self.request,
+            costs=server.costs,
+            trace=self.trace,
+            transaction=None,
+            depth=self.depth + 1,
+        )
+
+    def in_transaction(self, transaction: TransactionContext) -> "InvocationContext":
+        return InvocationContext(
+            env=self.env,
+            server=self.server,
+            request=self.request,
+            costs=self.costs,
+            trace=self.trace,
+            transaction=transaction,
+            depth=self.depth,
+        )
+
+    # -- effects -----------------------------------------------------------
+    def cpu(self, work_ms: float) -> Generator[Event, None, None]:
+        """Charge CPU time on the current server's node."""
+        yield from self.server.node.compute(work_ms)
+
+    def lookup(self, component_name: str):
+        """Resolve a component reference (see AppServer.lookup).
+
+        Generator: remote JNDI lookups cost a network round trip unless
+        the EJBHomeFactory cache already holds the home stub.
+        """
+        return self.server.lookup(self, component_name)
+
+    def record_call(
+        self, kind: str, dst_node: str, target: str, method: str, duration: float = 0.0
+    ) -> None:
+        if self.trace is None:
+            return
+        from ..simnet.monitor import CallRecord
+
+        src = self.server.node.name
+        self.trace.record(
+            CallRecord(
+                time=self.env.now,
+                kind=kind,
+                src_node=src,
+                dst_node=dst_node,
+                target=target,
+                method=method,
+                wide_area=self.server.is_wide_area(dst_node),
+                page=self.request.page if self.request else None,
+                request_id=self.request.id if self.request else None,
+                duration=duration,
+            )
+        )

@@ -1,0 +1,129 @@
+"""JMS-style publish/subscribe messaging.
+
+The provider lives on one node (the main server in the paper's §4.5
+deployment).  Publishing to a topic is cheap and local for the
+read-write tier; the provider then delivers a copy of the message to
+every subscriber asynchronously — each delivery is its own simulated
+process crossing the WAN, so the publisher never blocks on edge
+round trips.  "This approach completely avoids the blocking problem and
+its scalability is limited only by the messaging middleware."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from ..simnet.kernel import Environment, Event
+from .context import InvocationContext
+from .marshalling import sizeof
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import AppServer
+
+__all__ = ["Message", "Topic", "JmsProvider"]
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A JMS message: opaque body plus delivery metadata."""
+
+    topic: str
+    body: Any
+    published_at: float = 0.0
+    id: int = field(default_factory=lambda: next(_message_ids))
+
+    def wire_size(self) -> int:
+        return 64 + sizeof(self.body)
+
+
+class Topic:
+    """A named topic with durable-enough subscriptions for this study."""
+
+    def __init__(self, name: str):
+        self.name = name
+        # (subscriber AppServer, container) pairs.
+        self.subscribers: List[Tuple[Any, Any]] = []
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, server: Any, container: Any) -> None:
+        self.subscribers.append((server, container))
+
+
+class JmsProvider:
+    """The messaging broker bound to a host node."""
+
+    def __init__(self, env: Environment, host_server: "AppServer"):
+        self.env = env
+        self.host_server = host_server
+        self.topics: Dict[str, Topic] = {}
+        self.in_flight = 0
+        self.delivery_latency_total = 0.0
+        self.deliveries = 0
+
+    def topic(self, name: str) -> Topic:
+        existing = self.topics.get(name)
+        if existing is None:
+            existing = Topic(name)
+            self.topics[name] = existing
+        return existing
+
+    def publish(
+        self, ctx: InvocationContext, topic_name: str, body: Any
+    ) -> Generator[Event, Any, Message]:
+        """Publish; returns once the broker has accepted the message.
+
+        Deliveries to subscribers proceed in detached processes — the
+        publisher does not wait for them.
+        """
+        topic = self.topic(topic_name)
+        message = Message(topic=topic_name, body=body, published_at=ctx.env.now)
+        yield from ctx.cpu(ctx.costs.jms_publish_cpu)
+        publisher_node = ctx.server.node.name
+        broker_node = self.host_server.node.name
+        if publisher_node != broker_node:
+            yield from ctx.server.network.transfer(
+                publisher_node, broker_node, message.wire_size(), kind="jms"
+            )
+        topic.published += 1
+        ctx.record_call("jms", broker_node, topic_name, "publish")
+        for subscriber_server, container in topic.subscribers:
+            self.in_flight += 1
+            self.env.process(
+                self._deliver(ctx, message, topic, subscriber_server, container),
+                name=f"jms-delivery-{message.id}-{subscriber_server.name}",
+            )
+        return message
+
+    def _deliver(
+        self,
+        ctx: InvocationContext,
+        message: Message,
+        topic: Topic,
+        subscriber_server: Any,
+        container: Any,
+    ) -> Generator[Event, Any, None]:
+        broker_node = self.host_server.node.name
+        subscriber_node = subscriber_server.node.name
+        try:
+            if broker_node != subscriber_node:
+                yield from self.host_server.network.transfer(
+                    broker_node, subscriber_node, message.wire_size(), kind="jms"
+                )
+            delivery_ctx = ctx.at_server(subscriber_server)
+            yield from delivery_ctx.cpu(delivery_ctx.costs.mdb_dispatch_cpu)
+            yield from container.invoke(delivery_ctx, "on_message", (message,))
+            topic.delivered += 1
+            self.deliveries += 1
+            self.delivery_latency_total += self.env.now - message.published_at
+        finally:
+            self.in_flight -= 1
+
+    def mean_delivery_latency(self) -> float:
+        if not self.deliveries:
+            return 0.0
+        return self.delivery_latency_total / self.deliveries

@@ -1,0 +1,58 @@
+"""Serialized-size estimation for RMI arguments and results.
+
+RMI latency in the simulation depends on message sizes (through the
+bandwidth shaper), so marshalling estimates the wire footprint of the
+Python values that flow through component interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["sizeof", "call_size", "result_size"]
+
+_PRIMITIVE_SIZE = 9  # a boxed primitive plus serialization tag
+
+
+def sizeof(value: Any, _depth: int = 0) -> int:
+    """Approximate Java-serialization size of ``value`` in bytes."""
+    if _depth > 12:
+        return 16
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 2
+    if isinstance(value, (int, float)):
+        return _PRIMITIVE_SIZE
+    if isinstance(value, str):
+        return 7 + len(value)
+    if isinstance(value, bytes):
+        return 7 + len(value)
+    if isinstance(value, dict):
+        total = 24
+        for key, item in value.items():
+            total += sizeof(key, _depth + 1) + sizeof(item, _depth + 1)
+        return total
+    if isinstance(value, (list, tuple, set, frozenset)):
+        total = 24
+        for item in value:
+            total += sizeof(item, _depth + 1)
+        return total
+    if hasattr(value, "wire_size"):
+        return int(value.wire_size())
+    if hasattr(value, "__dict__"):
+        return 32 + sizeof(vars(value), _depth + 1)
+    return 32
+
+
+def call_size(base: int, per_arg: int, method: str, args: tuple) -> int:
+    """Request-message size for an RMI invocation."""
+    size = base + len(method) + per_arg * len(args)
+    for arg in args:
+        size += sizeof(arg)
+    return size
+
+
+def result_size(base: int, value: Any) -> int:
+    """Response-message size for an RMI result."""
+    return base + sizeof(value)

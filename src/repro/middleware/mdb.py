@@ -1,0 +1,52 @@
+"""Message-driven bean container.
+
+An MDB is the asynchronous flavour of the façade pattern (§5): it
+consumes messages from a JMS topic and performs work under its own
+container-managed transaction.  §4.5 uses an ``UpdateSubscriber`` MDB on
+each edge server to apply pushed updates to read-only beans and query
+caches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..simnet.kernel import Event
+from .context import InvocationContext
+from .descriptors import ComponentDescriptor, ComponentKind
+from .ejb import BeanError, run_business_method
+from .session import BaseContainer
+
+__all__ = ["MessageDrivenContainer"]
+
+
+class MessageDrivenContainer(BaseContainer):
+    """Container for one message-driven bean type."""
+
+    def __init__(self, server: Any, descriptor: ComponentDescriptor):
+        if descriptor.kind != ComponentKind.MESSAGE_DRIVEN:
+            raise BeanError(f"{descriptor.name!r} is not a message-driven bean")
+        super().__init__(server, descriptor)
+        self._instance = descriptor.impl()
+        self.messages_handled = 0
+
+    def invoke(
+        self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
+    ) -> Generator[Event, Any, Any]:
+        if method != "on_message":
+            raise BeanError(
+                f"message-driven bean {self.name!r} only accepts on_message, "
+                f"got {method!r}"
+            )
+        self.invocations += 1
+
+        def body(inner_ctx):
+            yield from inner_ctx.cpu(inner_ctx.costs.bean_method_base)
+            result = yield from run_business_method(
+                self._instance, "on_message", inner_ctx, args
+            )
+            return result
+
+        result = yield from self._run_demarcated(ctx, body)
+        self.messages_handled += 1
+        return result

@@ -1,0 +1,88 @@
+"""JNDI-style naming: per-server registries and the home-stub cache.
+
+Each application server has a local JNDI tree holding the components
+deployed on it.  Resolving a component that lives elsewhere requires a
+remote lookup against the authoritative (main) server's tree — a network
+round trip — unless the *EJBHomeFactory* cache already holds the stub.
+Caching home stubs "to avoid unnecessary trips to the JNDI tree" is one
+of the paper's remote-façade optimizations (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["JndiRegistry", "HomeCache", "NamingError"]
+
+JNDI_LOOKUP_REQUEST = 140
+JNDI_LOOKUP_RESPONSE = 420  # a marshalled home stub
+
+
+class NamingError(Exception):
+    """Raised when a name cannot be resolved anywhere."""
+
+
+class JndiRegistry:
+    """One server's JNDI tree: name -> locally deployed container."""
+
+    def __init__(self, server_name: str):
+        self.server_name = server_name
+        self._bindings: Dict[str, Any] = {}
+        self.lookups = 0
+
+    def bind(self, name: str, container: Any) -> None:
+        if name in self._bindings:
+            raise NamingError(f"{name!r} already bound on {self.server_name}")
+        self._bindings[name] = container
+
+    def rebind(self, name: str, container: Any) -> None:
+        self._bindings[name] = container
+
+    def unbind(self, name: str) -> None:
+        self._bindings.pop(name, None)
+
+    def resolve(self, name: str) -> Optional[Any]:
+        self.lookups += 1
+        return self._bindings.get(name)
+
+    def names(self):
+        return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+
+class HomeCache:
+    """EJBHomeFactory: memoizes resolved references per server.
+
+    With the cache disabled (the ablation baseline), every ``lookup``
+    re-resolves — and pays the remote round trip when the component's
+    home is on another server.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._cache: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str) -> Optional[Any]:
+        if not self.enabled:
+            self.misses += 1
+            return None
+        ref = self._cache.get(name)
+        if ref is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return ref
+
+    def put(self, name: str, ref: Any) -> None:
+        if self.enabled:
+            self._cache[name] = ref
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name, None)

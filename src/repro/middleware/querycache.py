@@ -1,0 +1,124 @@
+"""Edge-side caching of aggregate query results (§4.4).
+
+Entity beans map rows; aggregate queries (category listings, bid
+histories, search results) can only run in the database.  Caching their
+results at edge servers "can further reduce the number of remote method
+invocations whose sole purpose is to reach centralized database
+servers".  The manager supports the paper's two refresh protocols:
+
+* **pull**: invalidation marks entries stale; the next read re-executes
+  the query at the main server (one RMI);
+* **push**: update propagation delivers fresh rows with the
+  invalidation, so "query readers are not penalized".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..simnet.kernel import Event
+from .context import InvocationContext
+from .descriptors import QueryCacheDescriptor, RefreshMode
+
+__all__ = ["QueryCacheManager", "QueryCacheStats"]
+
+UPDATER_FACADE = "UpdaterFacade"
+
+
+class QueryCacheStats:
+    """Hit/miss/refresh counters for one cached query."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.push_refreshes = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "push_refreshes": self.push_refreshes,
+        }
+
+
+class QueryCacheManager:
+    """Per-server cache of parameterized aggregate query results."""
+
+    def __init__(self, server: Any):
+        self.server = server
+        self._descriptors: Dict[str, QueryCacheDescriptor] = {}
+        # query_id -> {params: rows}
+        self._entries: Dict[str, Dict[Tuple, List[dict]]] = {}
+        self._stale: Dict[str, set] = {}
+        self.stats: Dict[str, QueryCacheStats] = {}
+
+    # -- registration -----------------------------------------------------------
+    def register(self, descriptor: QueryCacheDescriptor) -> None:
+        self._descriptors[descriptor.query_id] = descriptor
+        self._entries.setdefault(descriptor.query_id, {})
+        self._stale.setdefault(descriptor.query_id, set())
+        self.stats.setdefault(descriptor.query_id, QueryCacheStats())
+
+    def handles(self, query_id: str) -> bool:
+        return query_id in self._descriptors
+
+    def descriptor(self, query_id: str) -> QueryCacheDescriptor:
+        return self._descriptors[query_id]
+
+    def registered_queries(self) -> List[str]:
+        return sorted(self._descriptors)
+
+    # -- read path -----------------------------------------------------------
+    def get(
+        self, ctx: InvocationContext, query_id: str, params: Tuple
+    ) -> Generator[Event, Any, List[dict]]:
+        """Cached rows for (query, params); pulls from central on miss."""
+        if query_id not in self._descriptors:
+            raise KeyError(f"query {query_id!r} is not registered on {self.server.name}")
+        stats = self.stats[query_id]
+        entries = self._entries[query_id]
+        params = tuple(params)
+        if params in entries and params not in self._stale[query_id]:
+            stats.hits += 1
+            yield from ctx.cpu(0.02)  # local cache lookup
+            return [dict(row) for row in entries[params]]
+        stats.misses += 1
+        facade = yield from ctx.lookup(UPDATER_FACADE + "@central")
+        rows = yield from facade.call(ctx, "fetch_query", query_id, params)
+        entries[params] = [dict(row) for row in rows]
+        self._stale[query_id].discard(params)
+        return [dict(row) for row in rows]
+
+    # -- maintenance (update propagation) ---------------------------------------
+    def invalidate(self, query_id: str, params: Optional[Tuple]) -> None:
+        if query_id not in self._descriptors:
+            return
+        self.stats[query_id].invalidations += 1
+        if params is None:
+            self._stale[query_id].update(self._entries[query_id].keys())
+        else:
+            params = tuple(params)
+            if params in self._entries[query_id]:
+                self._stale[query_id].add(params)
+
+    def apply_refresh(self, query_id: str, params: Tuple, rows: List[dict]) -> None:
+        """Push path: install fresh rows computed at the main server."""
+        if query_id not in self._descriptors:
+            return
+        params = tuple(params)
+        self._entries[query_id][params] = [dict(row) for row in rows]
+        self._stale[query_id].discard(params)
+        self.stats[query_id].push_refreshes += 1
+
+    def cached_params(self, query_id: str) -> List[Tuple]:
+        """Parameter tuples currently cached for ``query_id``."""
+        return list(self._entries.get(query_id, {}))
+
+    def is_fresh(self, query_id: str, params: Tuple) -> bool:
+        params = tuple(params)
+        return (
+            params in self._entries.get(query_id, {})
+            and params not in self._stale.get(query_id, set())
+        )

@@ -1,0 +1,155 @@
+"""Read-only entity bean containers (the Read-Mostly pattern, §4.3).
+
+A read-only container holds a local cache of entity state at an edge
+server.  Business (read) methods run against the cache with local
+response time; any attempted write raises.  State arrives either
+
+* **push**: the main server's update propagation delivers fresh state
+  with the invalidation (clients "will always have local response
+  times"), or
+* **pull**: an invalidation only marks entries stale, and the first
+  business call afterwards refreshes by querying the remote updater
+  façade ("one RMI call").
+
+Cold misses always pull — a replica cannot invent state it never saw.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Set
+
+from ..simnet.kernel import Event
+from .context import InvocationContext, UpdateEvent
+from .descriptors import ComponentDescriptor, ComponentKind, RefreshMode
+from .ejb import BeanError, run_business_method
+from .session import BaseContainer
+
+__all__ = ["ReadOnlyEntityContainer", "ReadOnlyViolation"]
+
+UPDATER_FACADE = "UpdaterFacade"
+
+
+class ReadOnlyViolation(BeanError):
+    """A business method attempted to mutate read-only replica state."""
+
+
+class ReadOnlyEntityContainer(BaseContainer):
+    """Cache-backed, read-only replica of an entity bean type."""
+
+    def __init__(self, server: Any, descriptor: ComponentDescriptor):
+        if descriptor.kind != ComponentKind.ENTITY or descriptor.read_mostly is None:
+            raise BeanError(
+                f"{descriptor.name!r} is not a read-mostly entity bean"
+            )
+        super().__init__(server, descriptor)
+        self.schema = server.application.schemas[descriptor.table]
+        self._cache: Dict[Any, Dict[str, Any]] = {}
+        self._stale: Set[Any] = set()
+        self.hits = 0
+        self.misses = 0
+        self.refreshes = 0
+        self.invalidations = 0
+
+    @property
+    def refresh_mode(self) -> RefreshMode:
+        return self.descriptor.read_mostly.refresh_mode
+
+    # -- replica maintenance (called by update propagation) ---------------------
+    def apply_update(self, event: UpdateEvent) -> None:
+        """Push-path: install fresh state delivered with the invalidation."""
+        if event.deleted:
+            self._cache.pop(event.primary_key, None)
+            self._stale.discard(event.primary_key)
+            return
+        if event.partial:
+            # Delta push (§4.3): merge changed fields into the cached row.
+            # A replica that never saw the full row cannot apply a delta —
+            # it invalidates and pulls on next use instead.
+            cached = self._cache.get(event.primary_key)
+            if cached is None or event.primary_key in self._stale:
+                self.invalidate(event.primary_key)
+                return
+            cached.update(event.state)
+            return
+        if event.state:
+            self._cache[event.primary_key] = dict(event.state)
+            self._stale.discard(event.primary_key)
+        else:
+            self.invalidate(event.primary_key)
+
+    def invalidate(self, primary_key: Any = None) -> None:
+        """Pull-path: mark one entry (or everything) stale."""
+        self.invalidations += 1
+        if primary_key is None:
+            self._stale.update(self._cache.keys())
+        elif primary_key in self._cache:
+            self._stale.add(primary_key)
+
+    def preload(self, rows) -> int:
+        """Install fresh state for many rows at once (warm-up helper).
+
+        Stands in for the measurement-excluded warm-up traffic of the
+        paper's one-hour runs; returns the number of entries loaded.
+        """
+        count = 0
+        pk_column = self.schema.primary_key
+        for row in rows:
+            self._cache[row[pk_column]] = dict(row)
+            self._stale.discard(row[pk_column])
+            count += 1
+        return count
+
+    def cached_keys(self) -> Set[Any]:
+        return set(self._cache)
+
+    def is_fresh(self, primary_key: Any) -> bool:
+        return primary_key in self._cache and primary_key not in self._stale
+
+    # -- state acquisition -----------------------------------------------------
+    def _get_state(
+        self, ctx: InvocationContext, primary_key: Any
+    ) -> Generator[Event, Any, Dict[str, Any]]:
+        if self.is_fresh(primary_key):
+            self.hits += 1
+            return self._cache[primary_key]
+        self.misses += 1
+        # Refresh from the central updater façade: exactly one RMI call.
+        facade = yield from ctx.lookup(UPDATER_FACADE + "@central")
+        state = yield from facade.call(ctx, "fetch_state", self.name, primary_key)
+        if state is None:
+            raise BeanError(f"{self.name}: no entity with key {primary_key!r}")
+        self._cache[primary_key] = dict(state)
+        self._stale.discard(primary_key)
+        self.refreshes += 1
+        return self._cache[primary_key]
+
+    # -- dispatch ------------------------------------------------------------
+    def invoke(
+        self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
+    ) -> Generator[Event, Any, Any]:
+        self.invocations += 1
+        yield from ctx.cpu(ctx.costs.bean_method_base)
+
+        if identity is None:
+            if method == "find_by_primary_key":
+                (primary_key,) = args
+                # Existence is established on first state access; the
+                # find itself is local.
+                return primary_key
+            raise BeanError(
+                f"read-only bean {self.name!r} does not support home method "
+                f"{method!r}; aggregate queries belong to query caches"
+            )
+
+        state = yield from self._get_state(ctx, identity)
+        instance = self.descriptor.impl()
+        instance.primary_key = identity
+        instance.state = dict(state)
+        instance._loaded = True
+        result = yield from run_business_method(instance, method, ctx, args)
+        if instance.is_dirty:
+            raise ReadOnlyViolation(
+                f"method {method!r} mutated read-only replica "
+                f"{self.name}[{identity!r}] on {self.server.name}"
+            )
+        return result

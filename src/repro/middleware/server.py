@@ -1,0 +1,351 @@
+"""The application server: containers + naming + web tier on one node.
+
+An :class:`AppServer` is the JBoss/Jetty bundle of the paper's testbed.
+It hosts whichever containers the deployment plan assigns to it, resolves
+component references (local first, then the central server's JNDI tree),
+owns the connection pools for RMI and JDBC, and serves HTTP requests.
+
+Reference resolution implements the paper's placement semantics:
+
+* read access to an entity resolves to a **local read-only replica** when
+  one is deployed, then a local read-write container, then the central
+  server (a remote stub);
+* write access skips read-only replicas;
+* ``name@central`` forces resolution at the main server (used by replicas
+  to reach their updater façade).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from ..rdbms.jdbc import DataSource, JdbcConfig
+from ..rdbms.server import DatabaseServer, result_wire_size
+from ..simnet.kernel import Environment, Event
+from ..simnet.monitor import Trace
+from ..simnet.transport import ConnectionPool
+from .context import InvocationContext
+from .costs import MiddlewareCosts
+from .descriptors import (
+    ApplicationDescriptor,
+    ComponentDescriptor,
+    ComponentKind,
+)
+from .ejb import BeanError
+from .entity import EntityContainer
+from .jms import JmsProvider
+from .mdb import MessageDrivenContainer
+from .naming import JNDI_LOOKUP_REQUEST, JNDI_LOOKUP_RESPONSE, HomeCache, JndiRegistry, NamingError
+from .querycache import QueryCacheManager
+from .readonly import ReadOnlyEntityContainer
+from .rmi import ComponentRef, LocalRef, RemoteRef
+from .session import StatefulSessionContainer, StatelessSessionContainer
+from .web import HttpSessionStore, Response, ServletContainer, WebRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .updates import UpdatePropagator
+
+__all__ = ["AppServer"]
+
+
+class AppServer:
+    """One application-server process bound to a testbed node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Any,
+        application: ApplicationDescriptor,
+        costs: MiddlewareCosts,
+        db_server: Optional[DatabaseServer] = None,
+        trace: Optional[Trace] = None,
+        is_main: bool = False,
+        wide_area_of=None,
+    ):
+        self.env = env
+        self.node = node
+        self.application = application
+        self.costs = costs
+        self.db_server = db_server
+        self.trace = trace
+        self.is_main = is_main
+        self._wide_area_of = wide_area_of  # callable(node_a, node_b) -> bool
+
+        self.naming = JndiRegistry(node.name)
+        self.home_cache = HomeCache(enabled=True)
+        self.web_sessions = HttpSessionStore()
+        self.containers: Dict[str, Any] = {}
+        self._readonly: Dict[str, ReadOnlyEntityContainer] = {}
+        self.query_cache: Optional[QueryCacheManager] = None
+        self.update_propagator: Optional["UpdatePropagator"] = None
+        self.jms: Optional[JmsProvider] = None
+        self.central: Optional["AppServer"] = None
+        # Availability: clients probing a failed server time out and may
+        # fail over to another entry point (§1's availability argument).
+        self.available = True
+
+        self._rmi_pools: Dict[str, ConnectionPool] = {}
+        self._datasource: Optional[DataSource] = None
+        # Overridable before first use: the original Pet Store web tier
+        # opened un-pooled connections per request (JdbcConfig(pooled=False)).
+        self.jdbc_config = JdbcConfig()
+        self._network = None
+        self.http_requests = 0
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def network(self):
+        if self._network is None:
+            raise BeanError(f"server {self.name} is not attached to a network")
+        return self._network
+
+    def attach_network(self, network) -> None:
+        self._network = network
+
+    def fail(self) -> None:
+        """Take this server down (new connections time out)."""
+        self.available = False
+
+    def recover(self) -> None:
+        """Bring the server back up."""
+        self.available = True
+
+    def is_wide_area(self, other_node: str) -> bool:
+        if self._wide_area_of is None:
+            return False
+        return self._wide_area_of(self.node.name, other_node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "main" if self.is_main else "edge"
+        return f"<AppServer {self.name} ({role})>"
+
+    # -- deployment -----------------------------------------------------------
+    def deploy(self, descriptor: ComponentDescriptor, replica: bool = False) -> Any:
+        """Instantiate a container for ``descriptor`` on this server.
+
+        ``replica=True`` deploys the read-only flavour of a read-mostly
+        entity bean; read access then resolves to it locally.
+        """
+        if descriptor.kind == ComponentKind.ENTITY:
+            if replica:
+                container = ReadOnlyEntityContainer(self, descriptor)
+                self._readonly[descriptor.name] = container
+                self.naming.rebind(descriptor.name + ".ro", container)
+                return container
+            container = EntityContainer(self, descriptor)
+        elif descriptor.kind == ComponentKind.STATELESS_SESSION:
+            container = StatelessSessionContainer(self, descriptor)
+        elif descriptor.kind == ComponentKind.STATEFUL_SESSION:
+            container = StatefulSessionContainer(self, descriptor)
+        elif descriptor.kind == ComponentKind.MESSAGE_DRIVEN:
+            container = MessageDrivenContainer(self, descriptor)
+        elif descriptor.kind == ComponentKind.SERVLET:
+            container = ServletContainer(self, descriptor)
+        else:  # pragma: no cover - enum is closed
+            raise BeanError(f"unknown component kind {descriptor.kind}")
+        self.containers[descriptor.name] = container
+        self.naming.rebind(descriptor.name, container)
+        return container
+
+    def enable_query_cache(self) -> QueryCacheManager:
+        if self.query_cache is None:
+            self.query_cache = QueryCacheManager(self)
+        return self.query_cache
+
+    def container(self, name: str) -> Any:
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise NamingError(f"{name!r} is not deployed on {self.name}") from None
+
+    def has_component(self, name: str) -> bool:
+        return name in self.containers or name in self._readonly
+
+    def readonly_container(self, name: str) -> Optional[ReadOnlyEntityContainer]:
+        return self._readonly.get(name)
+
+    # -- reference resolution ---------------------------------------------------
+    def rmi_pool(self, dst_node: str) -> ConnectionPool:
+        pool = self._rmi_pools.get(dst_node)
+        if pool is None:
+            pool = ConnectionPool(self._network, kind="rmi")
+            self._rmi_pools[dst_node] = pool
+        return pool
+
+    def lookup(
+        self, ctx: InvocationContext, name: str, for_update: bool = False
+    ) -> Generator[Event, Any, ComponentRef]:
+        """Resolve ``name`` to a component reference (read-preferring)."""
+        force_central = name.endswith("@central")
+        if force_central:
+            name = name[: -len("@central")]
+
+        cache_key = name + (":w" if for_update else ":r") + (":c" if force_central else "")
+        cached = self.home_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        ref: Optional[ComponentRef] = None
+        if force_central and self.central is None:
+            # This server *is* the central server: resolve locally.
+            force_central = False
+        if not force_central:
+            if not for_update and name in self._readonly:
+                ref = LocalRef(self._readonly[name])
+            elif name in self.containers:
+                ref = LocalRef(self.containers[name])
+
+        if ref is None:
+            central = self.central
+            if central is None:
+                raise NamingError(f"{name!r} is not deployed anywhere reachable from {self.name}")
+            if not central.has_component(name):
+                raise NamingError(f"{name!r} is not deployed on central server {central.name}")
+            # Remote JNDI lookup against the central tree (unless cached).
+            if self.costs.jndi_remote_lookup:
+                yield from self._network.transfer(
+                    self.node.name, central.node.name, JNDI_LOOKUP_REQUEST, kind="lookup"
+                )
+                yield from self._network.transfer(
+                    central.node.name, self.node.name, JNDI_LOOKUP_RESPONSE, kind="lookup"
+                )
+                ctx.record_call("lookup", central.node.name, name, "jndi_lookup")
+            target_container = central.containers.get(name) or central._readonly.get(name)
+            ref = RemoteRef(self, central, target_container)
+
+        self.home_cache.put(cache_key, ref)
+        return ref
+
+    def lookup_for_update(
+        self, ctx: InvocationContext, name: str
+    ) -> Generator[Event, Any, ComponentRef]:
+        result = yield from self.lookup(ctx, name, for_update=True)
+        return result
+
+    def lookup_at(
+        self, ctx: InvocationContext, name: str, target: "AppServer"
+    ) -> Generator[Event, Any, ComponentRef]:
+        """A direct reference to ``name`` on a specific server."""
+        if target is self:
+            return LocalRef(self.container(name))
+        container = target.containers.get(name) or target._readonly.get(name)
+        if container is None:
+            raise NamingError(f"{name!r} is not deployed on {target.name}")
+        cache_key = f"{name}@{target.name}"
+        cached = self.home_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        ref = RemoteRef(self, target, container)
+        self.home_cache.put(cache_key, ref)
+        return ref
+        yield  # pragma: no cover - resolution is currently synchronous
+
+    # -- database access -----------------------------------------------------
+    def datasource(self) -> DataSource:
+        if self._datasource is None:
+            if self.db_server is None:
+                raise BeanError(f"server {self.name} has no database configured")
+            self._datasource = DataSource(
+                self._network, self.node.name, self.db_server, self.jdbc_config
+            )
+        return self._datasource
+
+    def db_execute(
+        self, ctx: InvocationContext, sql: str, params: Tuple = ()
+    ) -> Generator[Event, Any, Any]:
+        """Execute SQL against the application database, transaction-aware.
+
+        Inside a container-managed transaction the statement runs on the
+        transaction's enlisted connection (opened and ``BEGIN``-ed on
+        first use); outside, it runs auto-commit on a pooled connection.
+        """
+        source = self.datasource()
+        start = ctx.env.now
+        transaction = ctx.transaction
+        if transaction is not None:
+            key = ("jdbc", id(source))
+            connection = transaction.resources.get(key)
+            if connection is None:
+                connection = yield from source.connect()
+                connection.begin()
+                transaction.resources[key] = connection
+                transaction.enlist_connection(connection)
+            result = yield from connection.execute(sql, params)
+        else:
+            connection = yield from source.connect()
+            result = yield from connection.execute(sql, params)
+            connection.close()
+        ctx.record_call(
+            "jdbc",
+            self.db_server.node.name,
+            sql.split(None, 3)[0].lower() + ":" + _table_of(sql),
+            "execute",
+            duration=ctx.env.now - start,
+        )
+        return result
+
+    def can_query_locally(self, query_id: str) -> bool:
+        """True when this server can answer the query without a WAN trip.
+
+        The main server executes against the (LAN/loopback) database;
+        edge servers answer only from an active query cache — application
+        façades use this to decide whether to delegate to their central
+        counterpart, as the edge ``Catalog`` bean does (§4.3).
+        """
+        if self.is_main:
+            return True
+        return self.query_cache is not None and self.query_cache.handles(query_id)
+
+    def cached_query(
+        self, ctx: InvocationContext, query_id: str, params: Tuple = ()
+    ) -> Generator[Event, Any, List[dict]]:
+        """Run a registered aggregate query, using the edge cache if present."""
+        if self.query_cache is not None and self.query_cache.handles(query_id):
+            rows = yield from self.query_cache.get(ctx, query_id, params)
+            return rows
+        sql = self.application.queries.get(query_id)
+        if sql is None:
+            raise BeanError(f"unknown query id {query_id!r}")
+        if not self.is_main and self.central is not None:
+            # No local cache: fetch through the central façade (one RMI).
+            facade = yield from self.lookup(ctx, "UpdaterFacade@central")
+            rows = yield from facade.call(ctx, "fetch_query", query_id, tuple(params))
+            return rows
+        result = yield from self.db_execute(ctx, sql, tuple(params))
+        return [dict(row) for row in result.rows]
+
+    # -- web tier ------------------------------------------------------------
+    def serve(
+        self, ctx: InvocationContext, request: WebRequest
+    ) -> Generator[Event, Any, Response]:
+        """Dispatch an HTTP request to the mapped servlet."""
+        self.http_requests += 1
+        servlet_name = self.application.servlets.get(request.page)
+        if servlet_name is None:
+            raise BeanError(f"no servlet mapped for page {request.page!r}")
+        container = self.containers.get(servlet_name)
+        if container is None:
+            raise BeanError(
+                f"servlet {servlet_name!r} (page {request.page!r}) is not "
+                f"deployed on {self.name}"
+            )
+        response = yield from container.handle(ctx, request)
+        return response
+
+
+def _table_of(sql: str) -> str:
+    """Best-effort table name extraction for trace labels."""
+    tokens = sql.replace(",", " ").split()
+    uppers = [t.upper() for t in tokens]
+    for marker in ("FROM", "INTO", "UPDATE"):
+        if marker in uppers:
+            index = uppers.index(marker)
+            if marker == "UPDATE" and index + 1 < len(tokens):
+                return tokens[index + 1]
+            if index + 1 < len(tokens):
+                return tokens[index + 1]
+    return "?"

@@ -1,0 +1,214 @@
+"""Session bean containers: stateless (pooled) and stateful (per client).
+
+Transaction demarcation is container-managed.  A ``REQUIRED`` business
+method called outside a transaction begins one, commits it on success —
+including the blocking replica push of §4.3 when updates are pending —
+and rolls it back on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..simnet.kernel import Event
+from .context import InvocationContext, TransactionContext
+from .descriptors import ComponentDescriptor, ComponentKind, TxAttribute
+from .ejb import BeanError, StatefulSessionBean, run_business_method
+
+__all__ = ["BaseContainer", "StatelessSessionContainer", "StatefulSessionContainer"]
+
+
+class BaseContainer:
+    """Shared container behaviour: metrics and transaction demarcation."""
+
+    def __init__(self, server: Any, descriptor: ComponentDescriptor):
+        self.server = server
+        self.descriptor = descriptor
+        self.invocations = 0
+        self.transactions_started = 0
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    def invoke(
+        self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
+    ) -> Generator[Event, Any, Any]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- container-managed transactions ---------------------------------------
+    def _run_demarcated(
+        self, ctx: InvocationContext, body
+    ) -> Generator[Event, Any, Any]:
+        """Run ``body(inner_ctx)`` under this component's tx attribute."""
+        attribute = self.descriptor.tx_attribute
+        if attribute == TxAttribute.NOT_SUPPORTED:
+            inner = ctx.in_transaction(None) if ctx.transaction else ctx
+            result = yield from body(inner)
+            return result
+        if attribute == TxAttribute.SUPPORTS:
+            result = yield from body(ctx)
+            return result
+        if attribute == TxAttribute.REQUIRED and ctx.transaction is not None:
+            result = yield from body(ctx)
+            return result
+        # REQUIRED without a transaction, or REQUIRES_NEW: start one here.
+        transaction = TransactionContext(ctx)
+        self.transactions_started += 1
+        inner = ctx.in_transaction(transaction)
+        try:
+            result = yield from body(inner)
+        except BaseException:
+            if transaction.state == "active":
+                yield from transaction.rollback(inner)
+            raise
+        if transaction.state == "active":
+            yield from transaction.commit(inner)
+        return result
+
+
+class StatelessSessionContainer(BaseContainer):
+    """Pools interchangeable instances; any free one serves any call."""
+
+    def __init__(self, server: Any, descriptor: ComponentDescriptor, pool_size: int = 16):
+        if descriptor.kind != ComponentKind.STATELESS_SESSION:
+            raise BeanError(f"{descriptor.name!r} is not a stateless session bean")
+        super().__init__(server, descriptor)
+        self._pool: List[Any] = []
+        self.pool_size = pool_size
+        self.instances_created = 0
+
+    def _checkout(self, ctx: InvocationContext) -> Generator[Event, Any, Any]:
+        if self._pool:
+            return self._pool.pop()
+        instance = self.descriptor.impl()
+        instance.ejb_create(ctx)
+        self.instances_created += 1
+        yield from ctx.cpu(ctx.costs.instance_creation)
+        return instance
+
+    def _checkin(self, instance: Any) -> None:
+        if len(self._pool) < self.pool_size:
+            self._pool.append(instance)
+
+    def invoke(
+        self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
+    ) -> Generator[Event, Any, Any]:
+        self.invocations += 1
+        instance = yield from self._checkout(ctx)
+
+        def body(inner_ctx):
+            yield from inner_ctx.cpu(inner_ctx.costs.bean_method_base)
+            result = yield from run_business_method(instance, method, inner_ctx, args)
+            return result
+
+        try:
+            result = yield from self._run_demarcated(ctx, body)
+        finally:
+            self._checkin(instance)
+        return result
+
+
+class StatefulSessionContainer(BaseContainer):
+    """One instance per client session, created on first use.
+
+    The instance key is the request's session id, so a client "sticks"
+    to its conversational state on whichever server serves it — stateful
+    session beans are deployable at the edge precisely because this state
+    is not shared (§2.2).
+
+    When the live-instance population exceeds the cost profile's
+    ``stateful_passivation_threshold``, least-recently-used instances are
+    passivated (serialized out of memory); touching a passivated session
+    pays an activation delay.
+    """
+
+    PASSIVATION_IO_MS = 2.0  # serialize/deserialize to the store
+
+    def __init__(self, server: Any, descriptor: ComponentDescriptor):
+        if descriptor.kind != ComponentKind.STATEFUL_SESSION:
+            raise BeanError(f"{descriptor.name!r} is not a stateful session bean")
+        super().__init__(server, descriptor)
+        self._instances: Dict[str, StatefulSessionBean] = {}
+        self._passivated: Dict[str, StatefulSessionBean] = {}
+        self._last_used: Dict[str, int] = {}
+        self._use_counter = 0
+        self.instances_created = 0
+        self.instances_removed = 0
+        self.passivations = 0
+        self.activations = 0
+
+    def _touch(self, key: str) -> None:
+        self._use_counter += 1
+        self._last_used[key] = self._use_counter
+
+    def _maybe_passivate(self, ctx: InvocationContext, protect: str):
+        threshold = ctx.costs.stateful_passivation_threshold
+        while len(self._instances) > threshold:
+            victim = min(
+                (k for k in self._instances if k != protect),
+                key=lambda k: self._last_used.get(k, 0),
+                default=None,
+            )
+            if victim is None:
+                return
+            self._passivated[victim] = self._instances.pop(victim)
+            self.passivations += 1
+            yield from ctx.cpu(self.PASSIVATION_IO_MS)
+
+    def _activate_if_passivated(self, ctx: InvocationContext, key: str):
+        instance = self._passivated.pop(key, None)
+        if instance is not None:
+            self._instances[key] = instance
+            self.activations += 1
+            yield from ctx.cpu(self.PASSIVATION_IO_MS)
+            yield ctx.env.timeout(self.PASSIVATION_IO_MS)  # store read-back
+
+    def _session_key(self, ctx: InvocationContext, identity: Any) -> str:
+        if identity is not None:
+            return str(identity)
+        if ctx.request is None:
+            raise BeanError(
+                f"stateful bean {self.name!r} invoked without a session identity"
+            )
+        return ctx.request.session_id
+
+    def instance_count(self) -> int:
+        return len(self._instances) + len(self._passivated)
+
+    def live_instance_count(self) -> int:
+        return len(self._instances)
+
+    def invoke(
+        self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
+    ) -> Generator[Event, Any, Any]:
+        self.invocations += 1
+        key = self._session_key(ctx, identity)
+
+        if method == "remove":
+            removed = self._instances.pop(key, None) or self._passivated.pop(key, None)
+            self._last_used.pop(key, None)
+            if removed is not None:
+                self.instances_removed += 1
+            return None
+
+        yield from self._activate_if_passivated(ctx, key)
+        self._touch(key)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = self.descriptor.impl()
+            instance.session_id = key
+            instance.ejb_create(ctx)
+            self._instances[key] = instance
+            self.instances_created += 1
+            yield from ctx.cpu(ctx.costs.instance_creation)
+        yield from self._maybe_passivate(ctx, protect=key)
+
+        def body(inner_ctx):
+            yield from inner_ctx.cpu(inner_ctx.costs.bean_method_base)
+            result = yield from run_business_method(instance, method, inner_ctx, args)
+            return result
+
+        result = yield from self._run_demarcated(ctx, body)
+        return result

@@ -1,0 +1,362 @@
+"""Update propagation from read-write beans to edge replicas and caches.
+
+Implements both halves of the paper's consistency spectrum:
+
+* §4.3 **synchronous blocking push** — at transaction commit the writer
+  blocks while one bulk RMI call per edge server delivers new entity
+  state, query invalidations and query refreshes (zero staleness: "a
+  read operation that arrives after a previous write has committed will
+  always read the correct value");
+* §4.5 **asynchronous updates** — the same payload is published once to
+  a JMS topic; ``UpdateSubscriber`` MDBs on the edge servers apply it,
+  and the writer returns immediately.
+
+The ``UpdaterFacade`` stateless session bean is the single remote entry
+point for replica maintenance: edges *pull* state and query results from
+it, and the propagator *pushes* through it — "updates to read-only beans
+and query caches are made in one bulk RMI call" (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from ..simnet.kernel import Event
+from .context import InvocationContext, UpdateEvent
+from .descriptors import (
+    ComponentDescriptor,
+    ComponentKind,
+    QueryCacheDescriptor,
+    RefreshMode,
+    TxAttribute,
+    UpdateMode,
+)
+from .ejb import MessageDrivenBean, StatelessSessionBean
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import AppServer
+
+__all__ = [
+    "UpdaterFacadeBean",
+    "UpdateSubscriberMdb",
+    "UpdatePropagator",
+    "UpdatePayload",
+    "UPDATER_FACADE",
+    "UPDATE_SUBSCRIBER",
+    "UPDATE_TOPIC",
+]
+
+UPDATER_FACADE = "UpdaterFacade"
+UPDATE_SUBSCRIBER = "UpdateSubscriber"
+UPDATE_TOPIC = "replica-updates"
+
+
+@dataclass
+class UpdatePayload:
+    """The bulk update shipped to one edge server (or one JMS message)."""
+
+    events: List[UpdateEvent] = field(default_factory=list)
+    invalidations: List[Tuple[str, Optional[tuple]]] = field(default_factory=list)
+    query_refreshes: List[Tuple[str, tuple, List[dict]]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.events or self.invalidations or self.query_refreshes)
+
+
+class UpdaterFacadeBean(StatelessSessionBean):
+    """Auto-deployed façade for replica state exchange.
+
+    On the main server it answers ``fetch_state`` / ``fetch_query``
+    pulls; on edge servers it applies pushed payloads.  A single bean
+    class keeps the protocol in one place, mirroring how a container
+    provider would ship it (§5 automation).
+    """
+
+    # -- pull endpoints (main server) --------------------------------------
+    def fetch_state(self, ctx, component: str, primary_key):
+        """Full entity state for a replica refresh — one bulk answer.
+
+        Reads the *authoritative* read-write bean (``for_update`` lookup),
+        never a read-only replica — a replica answering another replica's
+        refresh would be circular.
+        """
+        home = yield from ctx.server.lookup(ctx, component, for_update=True)
+        state = yield from home.call(ctx, "get_state", identity=primary_key)
+        return state
+
+    def fetch_query(self, ctx, query_id: str, params):
+        """Execute a registered aggregate query at the data centre."""
+        sql = ctx.server.application.queries[query_id]
+        result = yield from ctx.server.db_execute(ctx, sql, tuple(params))
+        return [dict(row) for row in result.rows]
+
+    # -- push endpoint (edge servers) ----------------------------------------
+    def apply_updates(self, ctx, payload: UpdatePayload):
+        """Install a bulk update payload into local replicas and caches."""
+        yield from ctx.cpu(0.05 * max(1, len(payload.events)))
+        server = ctx.server
+        for event in payload.events:
+            container = server.readonly_container(event.component)
+            if container is None:
+                continue
+            if event.state or event.deleted:
+                container.apply_update(event)
+            else:
+                container.invalidate(event.primary_key)
+        cache = server.query_cache
+        if cache is not None:
+            for query_id, params in payload.invalidations:
+                cache.invalidate(query_id, params)
+            for query_id, params, rows in payload.query_refreshes:
+                cache.apply_refresh(query_id, params, rows)
+        return True
+
+
+class UpdateSubscriberMdb(MessageDrivenBean):
+    """§4.5's asynchronous façade: applies payloads arriving via JMS."""
+
+    def on_message(self, ctx, message):
+        facade = yield from ctx.lookup(UPDATER_FACADE)
+        result = yield from facade.call(ctx, "apply_updates", message.body)
+        return result
+
+
+def updater_facade_descriptor() -> ComponentDescriptor:
+    return ComponentDescriptor(
+        name=UPDATER_FACADE,
+        kind=ComponentKind.STATELESS_SESSION,
+        impl=UpdaterFacadeBean,
+        tx_attribute=TxAttribute.NOT_SUPPORTED,
+        remote_interface=True,
+        edge_from_level=3,  # present wherever replicas/caches may live
+    )
+
+
+def update_subscriber_descriptor() -> ComponentDescriptor:
+    return ComponentDescriptor(
+        name=UPDATE_SUBSCRIBER,
+        kind=ComponentKind.MESSAGE_DRIVEN,
+        impl=UpdateSubscriberMdb,
+        tx_attribute=TxAttribute.NOT_SUPPORTED,
+        remote_interface=False,
+        topic=UPDATE_TOPIC,
+    )
+
+
+class UpdatePropagator:
+    """Commit-time propagation engine on the main server."""
+
+    def __init__(self, server: "AppServer", targets: List["AppServer"]):
+        self.server = server
+        self.targets = list(targets)
+        self.sync_pushes = 0
+        self.async_publishes = 0
+        self.blocking_time_total = 0.0
+        # Relaxed-consistency batching (§5, TACT-style staleness bounds):
+        # events whose descriptor declares staleness_bound_ms accumulate
+        # here and flush in one coalesced publish within the bound.
+        self._bounded_buffer: dict = {}  # (component, pk) -> UpdateEvent
+        self._flush_scheduled = False
+        self._flush_deadline = float("inf")
+        self.coalesced_events = 0
+        self.bounded_flushes = 0
+
+    # -- payload assembly ---------------------------------------------------
+    def _mode_of_event(self, event: UpdateEvent) -> Tuple[UpdateMode, RefreshMode]:
+        descriptor = self.server.application.components.get(event.component)
+        read_mostly = descriptor.read_mostly if descriptor else None
+        if read_mostly is None:
+            return UpdateMode.SYNC, RefreshMode.PUSH
+        return read_mostly.update_mode, read_mostly.refresh_mode
+
+    def _derived_invalidations(
+        self, events: List[UpdateEvent]
+    ) -> List[Tuple[QueryCacheDescriptor, Optional[tuple]]]:
+        derived = []
+        for cache in self.server.application.query_caches.values():
+            for event in events:
+                if event.table not in cache.invalidated_by:
+                    continue
+                key = cache.key_of_update(event) if cache.key_of_update else None
+                derived.append((cache, key))
+        return derived
+
+    def build_payloads(
+        self,
+        ctx: InvocationContext,
+        events: List[UpdateEvent],
+        explicit_invalidations: List[Tuple[str, Optional[tuple]]],
+    ) -> Generator[Event, Any, Tuple[UpdatePayload, UpdatePayload]]:
+        """Partition work into (synchronous, asynchronous) payloads."""
+        sync = UpdatePayload()
+        asynchronous = UpdatePayload()
+        for event in events:
+            descriptor = self.server.application.components.get(event.component)
+            if descriptor is None or descriptor.read_mostly is None:
+                # No replicas consume this bean's state; the event exists
+                # only to derive query-cache invalidations below.
+                continue
+            mode, refresh = self._mode_of_event(event)
+            shipped = event
+            if refresh == RefreshMode.PULL and not event.deleted:
+                shipped = UpdateEvent(
+                    component=event.component,
+                    table=event.table,
+                    primary_key=event.primary_key,
+                    state={},  # invalidation only; replicas pull on demand
+                    changed_fields=event.changed_fields,
+                    inserted=event.inserted,
+                )
+            elif (
+                ctx.costs.push_delta_only
+                and event.changed_fields
+                and not event.inserted
+                and not event.deleted
+            ):
+                # §4.3: push "only the changes instead of the entire
+                # bean's state (i.e., fields that were modified)".
+                shipped = UpdateEvent(
+                    component=event.component,
+                    table=event.table,
+                    primary_key=event.primary_key,
+                    state={f: event.state[f] for f in event.changed_fields},
+                    changed_fields=event.changed_fields,
+                    partial=True,
+                )
+            (sync if mode == UpdateMode.SYNC else asynchronous).events.append(shipped)
+
+        invalidation_work: List[Tuple[QueryCacheDescriptor, Optional[tuple]]] = []
+        invalidation_work.extend(self._derived_invalidations(events))
+        for query_id, params in explicit_invalidations:
+            descriptor = self.server.application.query_caches.get(query_id)
+            if descriptor is not None:
+                invalidation_work.append((descriptor, params))
+
+        seen = set()
+        for descriptor, params in invalidation_work:
+            marker = (descriptor.query_id, params)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            target = sync if descriptor.update_mode == UpdateMode.SYNC else asynchronous
+            if descriptor.refresh_mode == RefreshMode.PUSH and params is not None:
+                # Compute fresh rows now so readers are never penalized.
+                result = yield from self.server.db_execute(
+                    ctx, descriptor.sql, tuple(params)
+                )
+                target.query_refreshes.append(
+                    (descriptor.query_id, tuple(params), [dict(r) for r in result.rows])
+                )
+            else:
+                target.invalidations.append((descriptor.query_id, params))
+        return sync, asynchronous
+
+    # -- propagation -----------------------------------------------------------
+    def propagate(
+        self,
+        ctx: InvocationContext,
+        events: List[UpdateEvent],
+        explicit_invalidations: List[Tuple[str, Optional[tuple]]],
+    ) -> Generator[Event, Any, None]:
+        if not self.targets:
+            return
+        sync, asynchronous = yield from self.build_payloads(
+            ctx, events, explicit_invalidations
+        )
+        if not asynchronous.empty:
+            immediate, bound = self._split_by_staleness_bound(asynchronous)
+            if not immediate.empty:
+                yield from self.server.jms.publish(ctx, UPDATE_TOPIC, immediate)
+                self.async_publishes += 1
+            if bound is not None:
+                self._buffer_bounded(ctx, *bound)
+        if not sync.empty:
+            start = ctx.env.now
+            pushes = [
+                ctx.env.process(
+                    self._push_one(ctx, target, sync),
+                    name=f"sync-push-{target.name}",
+                )
+                for target in self.targets
+            ]
+            yield ctx.env.all_of(pushes)
+            self.sync_pushes += 1
+            self.blocking_time_total += ctx.env.now - start
+
+    def _push_one(
+        self, ctx: InvocationContext, target: "AppServer", payload: UpdatePayload
+    ) -> Generator[Event, Any, None]:
+        ref = yield from self.server.lookup_at(ctx, UPDATER_FACADE, target)
+        yield from ref.call(ctx, "apply_updates", payload)
+
+    # -- relaxed-consistency batching (§5) --------------------------------------
+    def _staleness_bound_of(self, event: UpdateEvent) -> Optional[float]:
+        descriptor = self.server.application.components.get(event.component)
+        if descriptor is None or descriptor.read_mostly is None:
+            return None
+        return descriptor.read_mostly.staleness_bound_ms
+
+    def _split_by_staleness_bound(self, payload: UpdatePayload):
+        """Partition an async payload into (immediate, (bounded, min_bound))."""
+        immediate = UpdatePayload(
+            invalidations=list(payload.invalidations),
+            query_refreshes=list(payload.query_refreshes),
+        )
+        bounded_events: List[UpdateEvent] = []
+        min_bound: Optional[float] = None
+        for event in payload.events:
+            bound = self._staleness_bound_of(event)
+            if bound is None:
+                immediate.events.append(event)
+            else:
+                bounded_events.append(event)
+                min_bound = bound if min_bound is None else min(min_bound, bound)
+        if not bounded_events:
+            return immediate, None
+        return immediate, (bounded_events, min_bound)
+
+    def _buffer_bounded(
+        self, ctx: InvocationContext, events: List[UpdateEvent], bound: float
+    ) -> None:
+        """Coalesce bounded events by key; flush within the bound window.
+
+        Repeated writes to the same entity within one window ship once,
+        with the latest state — the bandwidth saving that motivates
+        relaxed consistency bounds (§5, citing TACT).
+        """
+        for event in events:
+            key = (event.component, event.primary_key)
+            if key in self._bounded_buffer:
+                self.coalesced_events += 1
+            self._bounded_buffer[key] = event
+        deadline = ctx.env.now + bound
+        # Schedule (or pull forward) the flush so that no buffered event
+        # waits past its own staleness bound.
+        if not self._flush_scheduled or deadline < self._flush_deadline:
+            self._flush_scheduled = True
+            self._flush_deadline = deadline
+            ctx.env.process(
+                self._flush_after(ctx, bound), name="bounded-update-flush"
+            )
+
+    def _flush_after(
+        self, ctx: InvocationContext, delay: float
+    ) -> Generator[Event, Any, None]:
+        yield ctx.env.timeout(delay)
+        if not self._bounded_buffer:
+            return  # an earlier flush already drained the buffer
+        self._flush_scheduled = False
+        payload = UpdatePayload(events=list(self._bounded_buffer.values()))
+        self._bounded_buffer.clear()
+        flush_ctx = InvocationContext(
+            env=ctx.env,
+            server=self.server,
+            request=None,
+            costs=self.server.costs,
+            trace=self.server.trace,
+        )
+        yield from self.server.jms.publish(flush_ctx, UPDATE_TOPIC, payload)
+        self.async_publishes += 1
+        self.bounded_flushes += 1

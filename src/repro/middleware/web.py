@@ -1,0 +1,208 @@
+"""The web tier: HTTP request handling, servlets, and HTTP sessions.
+
+The paper's headline centralized-deployment number comes from here: a
+page request without keep-alive costs a TCP handshake round trip plus a
+request/response round trip, "approximately an extra 400 ms" across the
+emulated WAN.  Servlet dispatch, HTTP-session lookup and page rendering
+charge CPU on the serving node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..simnet.kernel import Environment, Event
+from ..simnet.transport import Connection, ConnectionPool
+from .context import InvocationContext, RequestInfo
+from .descriptors import ComponentDescriptor, ComponentKind
+from .ejb import BeanError, run_business_method
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import AppServer
+
+__all__ = [
+    "WebRequest",
+    "Response",
+    "HttpSessionStore",
+    "ServletContainer",
+    "ServerUnavailable",
+    "http_get",
+    "CONNECT_TIMEOUT_MS",
+]
+
+# How long a client waits before concluding a server is down (a 2003-era
+# TCP connect timeout).  Paid once per failed attempt before failover.
+CONNECT_TIMEOUT_MS = 3_000.0
+
+
+class ServerUnavailable(Exception):
+    """Raised when the target application server is down."""
+
+    def __init__(self, server_name: str):
+        super().__init__(f"application server {server_name!r} is unavailable")
+        self.server_name = server_name
+
+
+@dataclass
+class WebRequest:
+    """One HTTP request as seen by a servlet."""
+
+    page: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    session_id: str = ""
+    client_node: str = ""
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+
+@dataclass
+class Response:
+    """A generated page: size drives both render CPU and transfer time."""
+
+    html_size: int
+    status: int = 200
+    data: Optional[dict] = None  # structured view of what was rendered (tests)
+
+    def wire_size(self) -> int:
+        return 280 + self.html_size  # headers + body
+
+
+class HttpSessionStore:
+    """Per-server HTTPSession map (``session_id -> attribute dict``).
+
+    Session state lives on whichever server the client talks to —
+    web-tier conversational state is edge-deployable exactly like
+    stateful session beans (§2.2).
+    """
+
+    def __init__(self):
+        self._sessions: Dict[str, Dict[str, Any]] = {}
+        self.created = 0
+
+    def get(self, session_id: str) -> Dict[str, Any]:
+        session = self._sessions.get(session_id)
+        if session is None:
+            session = {}
+            self._sessions[session_id] = session
+            self.created += 1
+        return session
+
+    def discard(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+class ServletContainer:
+    """Holds one servlet instance and dispatches requests through it."""
+
+    def __init__(self, server: Any, descriptor: ComponentDescriptor):
+        if descriptor.kind != ComponentKind.SERVLET:
+            raise BeanError(f"{descriptor.name!r} is not a servlet")
+        self.server = server
+        self.descriptor = descriptor
+        self.instance = descriptor.impl()
+        self.requests = 0
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    def invoke(
+        self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
+    ) -> Generator[Event, Any, Any]:
+        """Servlets are invocable like components (used by dispatch)."""
+        result = yield from run_business_method(self.instance, method, ctx, args)
+        return result
+
+    def handle(
+        self, ctx: InvocationContext, request: WebRequest
+    ) -> Generator[Event, Any, Response]:
+        self.requests += 1
+        yield from ctx.cpu(ctx.costs.servlet_base)
+        if ctx.costs.servlet_io_wait > 0:
+            # Stack latency that does not occupy a CPU (see MiddlewareCosts).
+            yield ctx.env.timeout(ctx.costs.servlet_io_wait)
+        response = yield from run_business_method(
+            self.instance, "handle", ctx, (request,)
+        )
+        if not isinstance(response, Response):
+            raise BeanError(
+                f"servlet {self.name!r} returned {type(response).__name__}, "
+                "expected Response"
+            )
+        # Rendering cost scales with the generated page size.
+        yield from ctx.cpu(ctx.costs.page_render_per_kb * response.html_size / 1024.0)
+        return response
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+_http_pools: Dict[int, ConnectionPool] = {}
+
+
+def http_get(
+    env: Environment,
+    server: "AppServer",
+    request: WebRequest,
+    client_group: str = "local",
+) -> Generator[Event, Any, Response]:
+    """Issue one HTTP GET from ``request.client_node`` to ``server``.
+
+    Without keep-alive (the paper's setting) this opens a fresh TCP
+    connection per request: handshake round trip + request round trip.
+    With keep-alive, connections are pooled per client node.
+    """
+    if not server.available:
+        # The connection attempt hangs until the client-side timeout.
+        yield env.timeout(CONNECT_TIMEOUT_MS)
+        raise ServerUnavailable(server.name)
+    network = server.network
+    costs = server.costs
+    info = RequestInfo(
+        page=request.page,
+        client_group=client_group,
+        session_id=request.session_id,
+        client_node=request.client_node,
+    )
+    ctx = InvocationContext(
+        env=env,
+        server=server,
+        request=info,
+        costs=costs,
+        trace=server.trace,
+    )
+
+    def handler():
+        response = yield from server.serve(ctx, request)
+        return response
+
+    if costs.http_keep_alive:
+        pool = _http_pools.get(id(network))
+        if pool is None:
+            pool = ConnectionPool(network, kind="http")
+            _http_pools[id(network)] = pool
+        response = yield from pool.exchange(
+            request.client_node,
+            server.node.name,
+            costs.http_request_size,
+            handler,
+            response_size_of=lambda r: r.wire_size(),
+        )
+        return response
+
+    connection = Connection(network, request.client_node, server.node.name, kind="http")
+    yield from connection.open()
+    response = yield from connection.request(
+        costs.http_request_size,
+        handler,
+        response_size_of=lambda r: r.wire_size(),
+    )
+    connection.close()
+    return response

@@ -1,0 +1,128 @@
+"""The database engine facade: DDL, statement execution, transactions.
+
+This is the *pure* engine — it executes instantly in simulated time.
+Timing, locking, and network protocol live in :mod:`repro.rdbms.server`
+and :mod:`repro.rdbms.jdbc`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .executor import ExecutionError, Executor, ResultSet
+from .schema import TableSchema
+from .sql import Delete, Insert, Select, Statement, Update, parse_cached
+from .storage import Table
+from .transactions import Transaction
+
+__all__ = ["Database", "DatabaseError"]
+
+
+class DatabaseError(Exception):
+    """Raised for engine-level misuse (unknown table, bad DDL)."""
+
+
+class Database:
+    """A named collection of tables plus an executor.
+
+    Statements may be SQL text (parsed and memoized) or pre-built
+    statement ASTs.  Passing a :class:`Transaction` collects undo
+    information; without one, statements auto-commit.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self._executor = Executor(self.tables)
+        self.statements_executed = 0
+        self.rows_scanned_total = 0
+
+    # -- DDL / loading -----------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise DatabaseError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DatabaseError(f"no such table {name!r}") from None
+
+    def load(self, table_name: str, rows) -> int:
+        return self.table(table_name).bulk_load(rows)
+
+    # -- transactions -----------------------------------------------------------
+    def begin(self, read_only: bool = False) -> Transaction:
+        return Transaction(self.tables, read_only=read_only)
+
+    # -- execution -----------------------------------------------------------
+    def prepare(self, sql: str) -> Statement:
+        """Parse (memoized) without executing."""
+        return parse_cached(sql)
+
+    def execute(
+        self,
+        statement: Union[str, Statement],
+        params: Tuple[Any, ...] = (),
+        transaction: Optional[Transaction] = None,
+    ) -> ResultSet:
+        if isinstance(statement, str):
+            statement = parse_cached(statement)
+        if transaction is not None and transaction.read_only and not isinstance(statement, Select):
+            raise DatabaseError("write statement in a read-only transaction")
+        undo_log = transaction.undo_log if transaction is not None else None
+        result = self._executor.execute(statement, params, undo_log=undo_log)
+        self.statements_executed += 1
+        self.rows_scanned_total += result.rows_scanned
+        return result
+
+    # -- introspection -----------------------------------------------------------
+    def write_targets(self, statement: Union[str, Statement], params: Tuple[Any, ...] = ()) -> List[Tuple[str, Any]]:
+        """The (table, key) pairs a mutation will touch — used for locking.
+
+        For INSERTs this is the new primary key; for UPDATE/DELETE the
+        matching rows' keys (or a whole-table sentinel when un-indexed and
+        unpredictable).  SELECTs return no targets.
+        """
+        if isinstance(statement, str):
+            statement = parse_cached(statement)
+        if isinstance(statement, Select):
+            return []
+        if isinstance(statement, Insert):
+            table = self.table(statement.table)
+            pk = table.schema.primary_key
+            for column, expr in zip(statement.columns, statement.values):
+                if column == pk:
+                    from .executor import _substitute
+
+                    return [(statement.table, _substitute(expr, params).evaluate({}))]
+            return [(statement.table, ("*",))]
+        if isinstance(statement, (Update, Delete)):
+            # Dry-run the plan as a SELECT to find target keys.  Parameter
+            # indexes are statement-global, so bind WHERE against the full
+            # parameter tuple before probing.
+            from .executor import _substitute
+
+            table = self.table(statement.table)
+            pk = table.schema.primary_key
+            where = (
+                _substitute(statement.where, params)
+                if statement.where is not None
+                else None
+            )
+            probe = Select(items=(), table=_table_ref(statement.table), where=where)
+            try:
+                result = self._executor.execute(probe, ())
+            except ExecutionError:
+                return [(statement.table, ("*",))]
+            return [(statement.table, row[pk]) for row in result.rows]
+        return []
+
+
+def _table_ref(name: str):
+    from .sql import TableRef
+
+    return TableRef(name)

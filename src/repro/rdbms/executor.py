@@ -1,0 +1,455 @@
+"""Query planning and execution against :class:`~repro.rdbms.storage.Table`.
+
+The planner is deliberately simple — primary/secondary hash-index lookup
+when the WHERE clause pins an indexed column with equality, otherwise a
+full scan; nested-loop joins with inner-index acceleration — but it
+reports its work (``rows_scanned``, ``used_index``) so the database
+server can charge realistic execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    EvaluationError,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Parameter,
+)
+from .schema import TableSchema
+from .sql import Aggregate, Delete, Insert, Select, SelectItem, Statement, Update
+from .storage import Table
+
+__all__ = ["ResultSet", "ExecutionError", "Executor"]
+
+
+class ExecutionError(Exception):
+    """Raised when a statement cannot be executed."""
+
+
+@dataclass
+class ResultSet:
+    """Rows produced by a statement plus execution cost evidence."""
+
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+    rows_scanned: int = 0
+    used_index: Optional[str] = None
+    affected: int = 0  # for INSERT/UPDATE/DELETE
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() on a {len(self.rows)}x{len(self.columns)} result"
+            )
+        return self.rows[0][self.columns[0]]
+
+    def column(self, name: str) -> List[Any]:
+        return [row[name] for row in self.rows]
+
+
+def _substitute(node: Expression, params: Tuple[Any, ...]) -> Expression:
+    """Replace ``Parameter`` nodes using statement-global indexes."""
+    if isinstance(node, Parameter):
+        try:
+            return Literal(params[node.index])
+        except IndexError:
+            raise ExecutionError(
+                f"statement references parameter ?{node.index} but only "
+                f"{len(params)} given"
+            ) from None
+    if isinstance(node, Comparison):
+        return Comparison(_substitute(node.left, params), node.operator, _substitute(node.right, params))
+    if isinstance(node, And):
+        return And(tuple(_substitute(p, params) for p in node.parts))
+    if isinstance(node, Or):
+        return Or(tuple(_substitute(p, params) for p in node.parts))
+    if isinstance(node, Not):
+        return Not(_substitute(node.part, params))
+    if isinstance(node, Like):
+        return Like(node.column, _substitute(node.pattern, params))
+    if isinstance(node, InList):
+        return InList(node.column, tuple(_substitute(o, params) for o in node.options))
+    return node
+
+
+def _count_parameters(statement: Statement) -> int:
+    total = 0
+    if isinstance(statement, Select):
+        if statement.where is not None:
+            total += statement.where.parameters()
+    elif isinstance(statement, Insert):
+        total += sum(value.parameters() for value in statement.values)
+    elif isinstance(statement, Update):
+        total += sum(expr.parameters() for _c, expr in statement.assignments)
+        if statement.where is not None:
+            total += statement.where.parameters()
+    elif isinstance(statement, Delete):
+        if statement.where is not None:
+            total += statement.where.parameters()
+    return total
+
+
+def _conjuncts(expression: Optional[Expression]) -> List[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        return list(expression.parts)
+    return [expression]
+
+
+class Executor:
+    """Executes parsed statements against a dict of tables.
+
+    Mutations are reported back to the caller through an optional
+    ``undo_log`` (list of ``(table_name, op, image)`` tuples) so the
+    transaction layer can roll them back.
+    """
+
+    def __init__(self, tables: Dict[str, Table]):
+        self.tables = tables
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ExecutionError(f"no such table {name!r}") from None
+
+    # -- entry ---------------------------------------------------------------
+    def execute(
+        self,
+        statement: Statement,
+        params: Tuple[Any, ...] = (),
+        undo_log: Optional[list] = None,
+    ) -> ResultSet:
+        expected = _count_parameters(statement)
+        if expected != len(params):
+            raise ExecutionError(
+                f"statement takes {expected} parameters, got {len(params)}"
+            )
+        if isinstance(statement, Select):
+            return self._execute_select(statement, params)
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement, params, undo_log)
+        if isinstance(statement, Update):
+            return self._execute_update(statement, params, undo_log)
+        if isinstance(statement, Delete):
+            return self._execute_delete(statement, params, undo_log)
+        raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- SELECT ---------------------------------------------------------------
+    def _scan_with_plan(
+        self,
+        table: Table,
+        where: Optional[Expression],
+        qualify_as: Optional[str] = None,
+    ) -> Tuple[List[Dict[str, Any]], int, Optional[str]]:
+        """Rows of ``table`` matching ``where``; returns (rows, scanned, index)."""
+        candidates: Optional[List[Dict[str, Any]]] = None
+        used_index = None
+        residual = where
+        for conjunct in _conjuncts(where):
+            if not isinstance(conjunct, Comparison):
+                continue
+            binding = conjunct.equality_binding()
+            if binding is None:
+                continue
+            column, value_expr = binding
+            bare = column.split(".", 1)[-1]
+            if qualify_as is not None and "." in column:
+                if column.split(".", 1)[0] != qualify_as:
+                    continue
+            if table.has_index(bare):
+                value = value_expr.evaluate({})
+                candidates = table.index_lookup(bare, value)
+                used_index = f"{table.name}.{bare}"
+                break
+        if candidates is None:
+            candidates = list(table.scan())
+        scanned = len(candidates) if used_index is None else max(1, len(candidates))
+        if used_index is None:
+            scanned = len(table)
+        rows: List[Dict[str, Any]] = []
+        for row in candidates:
+            visible = (
+                {f"{qualify_as}.{k}": v for k, v in row.items()} if qualify_as else row
+            )
+            if residual is None:
+                rows.append(visible)
+                continue
+            try:
+                keep = residual.evaluate(visible)
+            except EvaluationError:
+                if qualify_as is None:
+                    raise
+                # Joined-table columns are not visible yet; defer filtering
+                # to the post-join pass.
+                keep = True
+            if keep:
+                rows.append(visible)
+        return rows, scanned, used_index
+
+    def _execute_select(self, statement: Select, params: Tuple[Any, ...]) -> ResultSet:
+        where = (
+            _substitute(statement.where, params) if statement.where is not None else None
+        )
+        base_table = self._table(statement.table.name)
+
+        if statement.joins:
+            rows, scanned, used_index = self._execute_join(statement, base_table, where)
+        else:
+            rows, scanned, used_index = self._scan_with_plan(base_table, where)
+
+        if statement.group_by is not None:
+            result_rows = self._grouped(statement, rows)
+            columns = [item.output_name for item in statement.items]
+            if statement.order_by is not None:
+                key_name = statement.order_by.column
+                result_rows.sort(
+                    key=lambda r: (r.get(key_name) is None, r.get(key_name)),
+                    reverse=statement.order_by.descending,
+                )
+            if statement.limit is not None:
+                result_rows = result_rows[: statement.limit]
+            return ResultSet(
+                columns, result_rows, rows_scanned=scanned, used_index=used_index
+            )
+
+        # Sorting happens on the full rows *before* projection, so ORDER BY
+        # may name columns absent from the select list.
+        if statement.order_by is not None and not statement.is_aggregate:
+            key_ref = ColumnRef(statement.order_by.column)
+
+            def sort_key(row: Dict[str, Any]):
+                value = key_ref.evaluate(row)
+                # None sorts first; mixed types sort by repr as a last resort.
+                return (value is None, value if value is not None else 0)
+
+            try:
+                rows.sort(key=sort_key, reverse=statement.order_by.descending)
+            except TypeError:
+                rows.sort(
+                    key=lambda r: repr(key_ref.evaluate(r)),
+                    reverse=statement.order_by.descending,
+                )
+
+        if statement.limit is not None and not statement.is_aggregate:
+            rows = rows[: statement.limit]
+
+        # Projection / aggregation.
+        if statement.is_aggregate:
+            output = self._aggregate(statement, rows)
+            columns = [item.output_name for item in statement.items]
+            result_rows = [output]
+        elif statement.is_star:
+            columns = sorted(rows[0].keys()) if rows else self._star_columns(statement)
+            result_rows = rows
+        else:
+            columns = [item.output_name for item in statement.items]
+            result_rows = []
+            for row in rows:
+                projected = {}
+                for item in statement.items:
+                    assert isinstance(item, SelectItem)
+                    projected[item.output_name] = ColumnRef(item.column).evaluate(row)
+                result_rows.append(projected)
+
+        return ResultSet(columns, result_rows, rows_scanned=scanned, used_index=used_index)
+
+    def _star_columns(self, statement: Select) -> List[str]:
+        if statement.joins:
+            columns = []
+            for ref in [statement.table] + [j.table for j in statement.joins]:
+                table = self._table(ref.name)
+                columns.extend(f"{ref.binding}.{c}" for c in table.schema.column_names())
+            return columns
+        return self._table(statement.table.name).schema.column_names()
+
+    def _execute_join(
+        self, statement: Select, base_table: Table, where: Optional[Expression]
+    ) -> Tuple[List[Dict[str, Any]], int, Optional[str]]:
+        """Left-deep nested-loop join with inner index acceleration."""
+        base_binding = statement.table.binding
+        rows, scanned, used_index = self._scan_with_plan(
+            base_table, where, qualify_as=base_binding
+        )
+        for join in statement.joins:
+            inner_table = self._table(join.table.name)
+            inner_binding = join.table.binding
+            # Decide which side of the ON refers to the inner table.
+            left_bare = join.left_column.split(".", 1)[-1]
+            right_bare = join.right_column.split(".", 1)[-1]
+            left_owner = join.left_column.split(".", 1)[0] if "." in join.left_column else None
+            if left_owner == inner_binding or (
+                left_owner is None and inner_table.schema.has_column(left_bare)
+                and not any(left_bare in r for r in rows[:1])
+            ):
+                inner_column, outer_column = left_bare, join.right_column
+            else:
+                inner_column, outer_column = right_bare, join.left_column
+            outer_ref = ColumnRef(outer_column)
+            joined: List[Dict[str, Any]] = []
+            use_inner_index = inner_table.has_index(inner_column)
+            for outer_row in rows:
+                outer_value = outer_ref.evaluate(outer_row)
+                if use_inner_index:
+                    matches = inner_table.index_lookup(inner_column, outer_value)
+                    scanned += max(1, len(matches))
+                else:
+                    matches = [
+                        r for r in inner_table.scan() if r.get(inner_column) == outer_value
+                    ]
+                    scanned += len(inner_table)
+                for inner_row in matches:
+                    combined = dict(outer_row)
+                    combined.update(
+                        {f"{inner_binding}.{k}": v for k, v in inner_row.items()}
+                    )
+                    joined.append(combined)
+            rows = joined
+        # Re-apply WHERE now that all join columns are visible (cheap second
+        # pass; the first pass already pruned what it could see).
+        if where is not None:
+            rows = [row for row in rows if where.evaluate(row)]
+        return rows, scanned, used_index
+
+    def _grouped(
+        self, statement: Select, rows: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """GROUP BY evaluation: one output row per distinct key.
+
+        Plain select items must reference the grouping column (or a column
+        functionally dependent on it within the group — the value is taken
+        from the group's first row, as MySQL 4 permitted).
+        """
+        if not statement.items:
+            raise ExecutionError("SELECT * with GROUP BY is not supported")
+        key_ref = ColumnRef(statement.group_by)
+        groups: Dict[Any, List[Dict[str, Any]]] = {}
+        order: List[Any] = []
+        for row in rows:
+            key = key_ref.evaluate(row)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        output: List[Dict[str, Any]] = []
+        for key in order:
+            group_rows = groups[key]
+            out_row: Dict[str, Any] = {}
+            for item in statement.items:
+                if isinstance(item, Aggregate):
+                    out_row.update(
+                        self._aggregate(
+                            Select(items=(item,), table=statement.table),
+                            group_rows,
+                        )
+                    )
+                else:
+                    out_row[item.output_name] = ColumnRef(item.column).evaluate(
+                        group_rows[0]
+                    )
+            output.append(out_row)
+        return output
+
+    def _aggregate(
+        self, statement: Select, rows: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        output: Dict[str, Any] = {}
+        for item in statement.items:
+            if not isinstance(item, Aggregate):
+                raise ExecutionError(
+                    "mixing aggregates and plain columns requires GROUP BY, "
+                    "which is not supported"
+                )
+            if item.function == "COUNT" and item.column is None:
+                output[item.output_name] = len(rows)
+                continue
+            ref = ColumnRef(item.column)
+            values = [ref.evaluate(row) for row in rows]
+            values = [v for v in values if v is not None]
+            if item.function == "COUNT":
+                output[item.output_name] = len(values)
+            elif not values:
+                output[item.output_name] = None
+            elif item.function == "MAX":
+                output[item.output_name] = max(values)
+            elif item.function == "MIN":
+                output[item.output_name] = min(values)
+            elif item.function == "SUM":
+                output[item.output_name] = sum(values)
+            elif item.function == "AVG":
+                output[item.output_name] = sum(values) / len(values)
+            else:  # pragma: no cover - parser restricts functions
+                raise ExecutionError(f"unknown aggregate {item.function}")
+        return output
+
+    # -- mutations -----------------------------------------------------------
+    def _execute_insert(
+        self, statement: Insert, params: Tuple[Any, ...], undo_log: Optional[list]
+    ) -> ResultSet:
+        table = self._table(statement.table)
+        values = {}
+        for column, expr in zip(statement.columns, statement.values):
+            values[column] = _substitute(expr, params).evaluate({})
+        row = table.insert(values)
+        if undo_log is not None:
+            undo_log.append((statement.table, "insert", row[table.schema.primary_key]))
+        return ResultSet([], [], affected=1, rows_scanned=1)
+
+    def _execute_update(
+        self, statement: Update, params: Tuple[Any, ...], undo_log: Optional[list]
+    ) -> ResultSet:
+        table = self._table(statement.table)
+        where = (
+            _substitute(statement.where, params) if statement.where is not None else None
+        )
+        targets, scanned, used_index = self._scan_with_plan(table, where)
+        changes = {
+            column: _substitute(expr, params).evaluate({})
+            for column, expr in statement.assignments
+        }
+        pk = table.schema.primary_key
+        for row in targets:
+            before = table.update(row[pk], changes)
+            if undo_log is not None:
+                undo_log.append((statement.table, "update", before))
+        return ResultSet(
+            [], [], affected=len(targets), rows_scanned=scanned, used_index=used_index
+        )
+
+    def _execute_delete(
+        self, statement: Delete, params: Tuple[Any, ...], undo_log: Optional[list]
+    ) -> ResultSet:
+        table = self._table(statement.table)
+        where = (
+            _substitute(statement.where, params) if statement.where is not None else None
+        )
+        targets, scanned, used_index = self._scan_with_plan(table, where)
+        pk = table.schema.primary_key
+        for row in targets:
+            before = table.delete(row[pk])
+            if undo_log is not None:
+                undo_log.append((statement.table, "delete", before))
+        return ResultSet(
+            [], [], affected=len(targets), rows_scanned=scanned, used_index=used_index
+        )

@@ -1,0 +1,255 @@
+"""Predicate and scalar expression AST used by the SQL layer.
+
+The executor evaluates these against row dicts.  The AST is also built
+programmatically by the entity-bean containers (CMP finder methods render
+to these expressions rather than to SQL text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Parameter",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Like",
+    "InList",
+    "EvaluationError",
+    "bind_parameters",
+]
+
+
+class EvaluationError(Exception):
+    """Raised when an expression cannot be evaluated against a row."""
+
+
+class Expression:
+    """Base expression node."""
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> List[str]:
+        """All column names referenced (qualified names kept as-is)."""
+        return []
+
+    def parameters(self) -> int:
+        """Number of ``?`` placeholders in this subtree."""
+        return 0
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column, optionally table-qualified (``t.col``)."""
+
+    name: str
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        if self.name in row:
+            return row[self.name]
+        # Permit unqualified access to a qualified row key and vice versa.
+        if "." in self.name:
+            bare = self.name.split(".", 1)[1]
+            if bare in row:
+                return row[bare]
+        else:
+            matches = [key for key in row if key.endswith("." + self.name)]
+            if len(matches) == 1:
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise EvaluationError(f"ambiguous column {self.name!r}: {matches}")
+        raise EvaluationError(f"row has no column {self.name!r}")
+
+    def columns(self) -> List[str]:
+        return [self.name]
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A ``?`` placeholder; must be bound before evaluation."""
+
+    index: int
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        raise EvaluationError(f"unbound parameter ?{self.index}")
+
+    def parameters(self) -> int:
+        return 1
+
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    left: Expression
+    operator: str
+    right: Expression
+
+    def __post_init__(self):
+        if self.operator not in _OPERATORS:
+            raise EvaluationError(f"unknown operator {self.operator!r}")
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False  # SQL three-valued logic, collapsed to False
+        return _OPERATORS[self.operator](left, right)
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+    def parameters(self) -> int:
+        return self.left.parameters() + self.right.parameters()
+
+    def equality_binding(self) -> Optional[Tuple[str, Expression]]:
+        """If this is ``column = value-expr``, return that pair (for index use)."""
+        if self.operator != "=":
+            return None
+        if isinstance(self.left, ColumnRef) and not isinstance(self.right, ColumnRef):
+            return self.left.name, self.right
+        if isinstance(self.right, ColumnRef) and not isinstance(self.left, ColumnRef):
+            return self.right.name, self.left
+        return None
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    parts: Tuple[Expression, ...]
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+    def columns(self) -> List[str]:
+        return [c for part in self.parts for c in part.columns()]
+
+    def parameters(self) -> int:
+        return sum(part.parameters() for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    parts: Tuple[Expression, ...]
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return any(part.evaluate(row) for part in self.parts)
+
+    def columns(self) -> List[str]:
+        return [c for part in self.parts for c in part.columns()]
+
+    def parameters(self) -> int:
+        return sum(part.parameters() for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    part: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return not self.part.evaluate(row)
+
+    def columns(self) -> List[str]:
+        return self.part.columns()
+
+    def parameters(self) -> int:
+        return self.part.parameters()
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """Substring match: ``column LIKE '%needle%'`` (case-insensitive).
+
+    Only the ``%needle%`` shape is supported, which is what the Pet Store
+    keyword search uses.  LIKE predicates are never index-accelerated,
+    reproducing "highly customized aggregate queries (such as keyword
+    searches) ... end up being executed in the database server".
+    """
+
+    column: ColumnRef
+    pattern: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.column.evaluate(row)
+        pattern = self.pattern.evaluate(row)
+        if value is None or pattern is None:
+            return False
+        needle = str(pattern).strip("%").lower()
+        return needle in str(value).lower()
+
+    def columns(self) -> List[str]:
+        return self.column.columns()
+
+    def parameters(self) -> int:
+        return self.pattern.parameters()
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    column: ColumnRef
+    options: Tuple[Expression, ...]
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.column.evaluate(row)
+        return any(value == option.evaluate(row) for option in self.options)
+
+    def columns(self) -> List[str]:
+        return self.column.columns()
+
+    def parameters(self) -> int:
+        return sum(option.parameters() for option in self.options)
+
+
+def bind_parameters(expression: Optional[Expression], params: Tuple[Any, ...]) -> Optional[Expression]:
+    """Return a copy of ``expression`` with ``Parameter`` nodes replaced.
+
+    Raises :class:`EvaluationError` when the parameter count mismatches.
+    """
+    if expression is None:
+        if params:
+            raise EvaluationError("parameters supplied but statement takes none")
+        return None
+    expected = expression.parameters()
+    if expected != len(params):
+        raise EvaluationError(f"statement takes {expected} parameters, got {len(params)}")
+
+    def substitute(node: Expression) -> Expression:
+        if isinstance(node, Parameter):
+            return Literal(params[node.index])
+        if isinstance(node, Comparison):
+            return Comparison(substitute(node.left), node.operator, substitute(node.right))
+        if isinstance(node, And):
+            return And(tuple(substitute(part) for part in node.parts))
+        if isinstance(node, Or):
+            return Or(tuple(substitute(part) for part in node.parts))
+        if isinstance(node, Not):
+            return Not(substitute(node.part))
+        if isinstance(node, Like):
+            return Like(node.column, substitute(node.pattern))
+        if isinstance(node, InList):
+            return InList(node.column, tuple(substitute(o) for o in node.options))
+        return node
+
+    return substitute(expression)

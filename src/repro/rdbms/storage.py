@@ -1,0 +1,140 @@
+"""Row storage: tables with a primary index and secondary hash indexes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+from .schema import SchemaError, TableSchema
+
+__all__ = ["Table", "StorageError"]
+
+
+class StorageError(Exception):
+    """Raised on constraint violations (duplicate key, missing row, ...)."""
+
+
+class Table:
+    """In-memory heap of rows keyed by primary key, with hash indexes.
+
+    Rows are stored as plain dicts.  Mutating operations return enough
+    information for the transaction layer to undo them.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: Dict[Any, Dict[str, Any]] = {}
+        self._indexes: Dict[str, Dict[Any, Set[Any]]] = {
+            column: defaultdict(set) for column in schema.indexes
+        }
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._rows
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        """The row with primary key ``key`` (a copy), or None."""
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def scan(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over copies of every row (heap order = insertion order)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def keys(self) -> List[Any]:
+        return list(self._rows.keys())
+
+    def index_lookup(self, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Rows whose indexed ``column`` equals ``value`` (copies)."""
+        if column == self.schema.primary_key:
+            row = self.get(value)
+            return [row] if row is not None else []
+        if column not in self._indexes:
+            raise StorageError(f"no index on {self.name}.{column}")
+        keys = self._indexes[column][value]
+        try:
+            ordered = sorted(keys)
+        except TypeError:  # mixed key types: fall back to a stable order
+            ordered = sorted(keys, key=repr)
+        return [dict(self._rows[key]) for key in ordered]
+
+    def has_index(self, column: str) -> bool:
+        return column == self.schema.primary_key or column in self._indexes
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Insert; returns the stored row.  Raises on duplicate key."""
+        row = self.schema.normalize_row(values)
+        key = row[self.schema.primary_key]
+        if key is None:
+            raise StorageError(f"NULL primary key for {self.name}")
+        if key in self._rows:
+            raise StorageError(f"duplicate primary key {key!r} in {self.name}")
+        self._rows[key] = row
+        for column, index in self._indexes.items():
+            index[row[column]].add(key)
+        return dict(row)
+
+    def update(self, key: Any, changes: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply ``changes`` to the row at ``key``; returns the prior image."""
+        if key not in self._rows:
+            raise StorageError(f"no row {key!r} in {self.name}")
+        row = self._rows[key]
+        before = dict(row)
+        for column_name, value in changes.items():
+            column = self.schema.column(column_name)
+            if column_name == self.schema.primary_key and column.coerce(value) != key:
+                raise StorageError("primary key update is not supported")
+            new_value = column.coerce(value)
+            if column_name in self._indexes and new_value != row[column_name]:
+                self._indexes[column_name][row[column_name]].discard(key)
+                self._indexes[column_name][new_value].add(key)
+            row[column_name] = new_value
+        return before
+
+    def delete(self, key: Any) -> Dict[str, Any]:
+        """Remove the row at ``key``; returns its final image."""
+        if key not in self._rows:
+            raise StorageError(f"no row {key!r} in {self.name}")
+        row = self._rows.pop(key)
+        for column, index in self._indexes.items():
+            index[row[column]].discard(key)
+        return dict(row)
+
+    def restore(self, row: Dict[str, Any]) -> None:
+        """Reinstate a previously deleted/overwritten row image (undo path)."""
+        key = row[self.schema.primary_key]
+        if key in self._rows:
+            # Undo of an update: overwrite in place.
+            current = self._rows[key]
+            for column, index in self._indexes.items():
+                if current[column] != row[column]:
+                    index[current[column]].discard(key)
+                    index[row[column]].add(key)
+            current.clear()
+            current.update(row)
+        else:
+            self._rows[key] = dict(row)
+            for column, index in self._indexes.items():
+                index[row[column]].add(key)
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    def bulk_load(self, rows: Iterable[Dict[str, Any]]) -> int:
+        """Insert many rows (data-generator path); returns the count."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count

@@ -1,0 +1,195 @@
+"""Tracing and measurement hooks.
+
+Two concerns live here:
+
+* :class:`Trace` — an append-only record of inter-component calls
+  (RMI, JDBC, JMS deliveries) with enough context for the design-rule
+  checker (``repro.core.rules``) to verify, e.g., that a page incurs at
+  most one wide-area call.
+* :class:`ResponseTimeMonitor` — per-(client-group, page) response-time
+  aggregation; this is what the paper's Tables 6/7 report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CallRecord", "Trace", "ResponseTimeMonitor", "PageStats"]
+
+
+@dataclass
+class CallRecord:
+    """One inter-tier call observed during a simulation."""
+
+    time: float
+    kind: str  # "rmi" | "jdbc" | "jms" | "http" | "lookup"
+    src_node: str
+    dst_node: str
+    target: str  # component or table name
+    method: str
+    wide_area: bool
+    page: Optional[str] = None  # page whose handling triggered the call
+    request_id: Optional[int] = None
+    duration: float = 0.0
+
+
+class Trace:
+    """Append-only call log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: List[CallRecord] = []
+        self.dropped = 0
+
+    def record(self, record: CallRecord) -> None:
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    # -- queries -------------------------------------------------------------
+    def by_kind(self, kind: str) -> List[CallRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def wide_area_calls(self, kind: Optional[str] = None) -> List[CallRecord]:
+        return [
+            r
+            for r in self.records
+            if r.wide_area and (kind is None or r.kind == kind)
+        ]
+
+    def calls_per_request(self, kind: str = "rmi", wide_area_only: bool = True) -> Dict[int, int]:
+        """request_id -> number of (wide-area) calls of ``kind``."""
+        counts: Dict[int, int] = defaultdict(int)
+        for record in self.records:
+            if record.request_id is None or record.kind != kind:
+                continue
+            if wide_area_only and not record.wide_area:
+                continue
+            counts[record.request_id] += 1
+        return dict(counts)
+
+    def remote_targets(self) -> set:
+        """Names of components that were invoked across the network."""
+        return {r.target for r in self.records if r.kind == "rmi" and r.src_node != r.dst_node}
+
+
+@dataclass
+class PageStats:
+    """Running response-time statistics for one (group, page) cell."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float, keep_sample: bool = False) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if keep_sample:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+    @property
+    def stddev(self) -> float:
+        return self.variance ** 0.5
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 1]; requires samples to have been kept."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class ResponseTimeMonitor:
+    """Aggregates per-page response times by client group.
+
+    Groups are labels such as ``"local"`` / ``"remote"`` combined with the
+    session type (``"browser"`` / ``"buyer"`` / ``"bidder"``), matching how
+    Tables 6/7 and Figures 7/8 slice the data.
+    """
+
+    def __init__(self, keep_samples: bool = False, warmup: float = 0.0):
+        self.keep_samples = keep_samples
+        self.warmup = warmup
+        self._stats: Dict[Tuple[str, str], PageStats] = defaultdict(PageStats)
+        self._session_stats: Dict[str, PageStats] = defaultdict(PageStats)
+        self.discarded_warmup = 0
+
+    def observe(self, time: float, group: str, page: str, response_time: float) -> None:
+        """Record one page response; samples during warm-up are dropped."""
+        if time < self.warmup:
+            self.discarded_warmup += 1
+            return
+        self._stats[(group, page)].add(response_time, keep_sample=self.keep_samples)
+        self._session_stats[group].add(response_time, keep_sample=self.keep_samples)
+
+    # -- reporting -----------------------------------------------------------
+    def pages(self, group: str) -> List[str]:
+        return sorted({page for (g, page) in self._stats if g == group})
+
+    def groups(self) -> List[str]:
+        return sorted(self._session_stats)
+
+    def page_stats(self, group: str, page: str) -> PageStats:
+        return self._stats[(group, page)]
+
+    def mean(self, group: str, page: str) -> float:
+        return self._stats[(group, page)].mean
+
+    def session_mean(self, group: str) -> float:
+        """Mean response time over every request made by ``group``."""
+        return self._session_stats[group].mean
+
+    def table(self) -> Dict[str, Dict[str, float]]:
+        """group -> {page -> mean response time}."""
+        result: Dict[str, Dict[str, float]] = defaultdict(dict)
+        for (group, page), stats in self._stats.items():
+            result[group][page] = stats.mean
+        return dict(result)
+
+    def merged(self, other: "ResponseTimeMonitor") -> "ResponseTimeMonitor":
+        """A new monitor combining this one's observations with ``other``'s."""
+        merged = ResponseTimeMonitor(keep_samples=False, warmup=0.0)
+        for source in (self, other):
+            for (group, page), stats in source._stats.items():
+                target = merged._stats[(group, page)]
+                target.count += stats.count
+                target.total += stats.total
+                target.total_sq += stats.total_sq
+                target.minimum = min(target.minimum, stats.minimum)
+                target.maximum = max(target.maximum, stats.maximum)
+            for group, stats in source._session_stats.items():
+                target = merged._session_stats[group]
+                target.count += stats.count
+                target.total += stats.total
+                target.total_sq += stats.total_sq
+                target.minimum = min(target.minimum, stats.minimum)
+                target.maximum = max(target.maximum, stats.maximum)
+        return merged

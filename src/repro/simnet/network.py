@@ -1,0 +1,219 @@
+"""Nodes, links and routing: the emulated network fabric.
+
+A :class:`Network` is a graph of named :class:`Node` objects joined by
+:class:`Link` objects.  Each link direction is an independent Click-style
+element chain (counter -> bandwidth shaper -> fixed delay), so latency and
+bandwidth contention are per-direction, exactly as with the paper's
+software router.
+
+The only public transfer primitive is :meth:`Network.transfer`, a
+generator that moves a message of ``size`` bytes from ``src`` to ``dst``
+along the statically routed shortest path and returns when the last byte
+arrives.  Higher layers (HTTP, RMI, JDBC, JMS) are built on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .kernel import Environment, Event
+from .primitives import Resource
+from .router import BandwidthShaper, Counter, ElementChain, FixedDelay, Packet
+
+__all__ = ["Node", "Link", "Network", "NetworkError"]
+
+
+class NetworkError(Exception):
+    """Raised for malformed topologies or unroutable transfers."""
+
+
+class Node:
+    """A physical machine: hosts processes and owns CPU capacity.
+
+    ``cpus`` models the testbed's dual-processor Pentium III workstations;
+    compute work on the node serializes through the :attr:`cpu` resource.
+    """
+
+    def __init__(self, env: Environment, name: str, cpus: int = 2, cpu_speed: float = 1.0):
+        if cpu_speed <= 0:
+            raise ValueError("cpu_speed must be positive")
+        self.env = env
+        self.name = name
+        self.cpu_speed = cpu_speed
+        self.cpu = Resource(env, capacity=cpus, name=f"{name}.cpu")
+        self.tags: set = set()
+
+    def compute(self, work_ms: float) -> Generator[Event, None, None]:
+        """Occupy one CPU for ``work_ms`` (scaled by the node's speed)."""
+        if work_ms < 0:
+            raise ValueError("work_ms must be non-negative")
+        if work_ms == 0:
+            return
+        yield from self.cpu.use(work_ms / self.cpu_speed)
+
+    def cpu_utilization(self) -> float:
+        """Mean CPU utilization since simulation start (0..1)."""
+        return self.cpu.utilization()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name}>"
+
+
+class Link:
+    """A bidirectional link; each direction has its own element chain."""
+
+    def __init__(
+        self,
+        env: Environment,
+        a: Node,
+        b: Node,
+        latency: float,
+        bandwidth: float,
+        name: str = "",
+    ):
+        """``latency`` in ms one-way; ``bandwidth`` in bytes/ms per direction."""
+        self.env = env
+        self.a = a
+        self.b = b
+        self.name = name or f"{a.name}<->{b.name}"
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._chains: Dict[Tuple[str, str], ElementChain] = {}
+        for src, dst in ((a.name, b.name), (b.name, a.name)):
+            self._chains[(src, dst)] = ElementChain(
+                [Counter(), BandwidthShaper(env, bandwidth), FixedDelay(env, latency)]
+            )
+
+    def chain(self, src: str, dst: str) -> ElementChain:
+        try:
+            return self._chains[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"link {self.name} does not join {src}->{dst}") from None
+
+    def counter(self, src: str, dst: str) -> Counter:
+        element = self.chain(src, dst).find(Counter)
+        assert element is not None
+        return element
+
+    def traverse(self, src: str, dst: str, packet: Packet):
+        yield from self.chain(src, dst).traverse(packet)
+
+
+class Network:
+    """The network graph plus static shortest-path routing."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.nodes: Dict[str, Node] = {}
+        self._adjacency: Dict[str, List[Tuple[str, Link]]] = {}
+        self._routes: Dict[Tuple[str, str], List[Link]] = {}
+        self.total_transfers = 0
+
+    # -- construction ------------------------------------------------------
+    def add_node(self, name: str, cpus: int = 2, cpu_speed: float = 1.0) -> Node:
+        if name in self.nodes:
+            raise NetworkError(f"duplicate node name {name!r}")
+        node = Node(self.env, name, cpus=cpus, cpu_speed=cpu_speed)
+        self.nodes[name] = node
+        self._adjacency[name] = []
+        return node
+
+    def add_link(self, a: str, b: str, latency: float, bandwidth: float, name: str = "") -> Link:
+        if a not in self.nodes or b not in self.nodes:
+            raise NetworkError(f"link endpoints must exist: {a!r}, {b!r}")
+        if a == b:
+            raise NetworkError("cannot link a node to itself")
+        link = Link(self.env, self.nodes[a], self.nodes[b], latency, bandwidth, name=name)
+        self._adjacency[a].append((b, link))
+        self._adjacency[b].append((a, link))
+        self._routes.clear()
+        return link
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    # -- routing -------------------------------------------------------------
+    def route(self, src: str, dst: str) -> List[Link]:
+        """The hop-minimal path from ``src`` to ``dst`` (cached)."""
+        if src == dst:
+            return []
+        cached = self._routes.get((src, dst))
+        if cached is not None:
+            return cached
+        # Breadth-first search over the (small) graph.
+        previous: Dict[str, Tuple[str, Link]] = {}
+        frontier = deque([src])
+        seen = {src}
+        while frontier:
+            current = frontier.popleft()
+            if current == dst:
+                break
+            for neighbor, link in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    previous[neighbor] = (current, link)
+                    frontier.append(neighbor)
+        if dst not in previous:
+            raise NetworkError(f"no route from {src!r} to {dst!r}")
+        path: List[Link] = []
+        cursor = dst
+        while cursor != src:
+            parent, link = previous[cursor]
+            path.append(link)
+            cursor = parent
+        path.reverse()
+        self._routes[(src, dst)] = path
+        return path
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Sum of propagation latencies along the route (no queueing)."""
+        return sum(link.latency for link in self.route(src, dst))
+
+    # -- transfer --------------------------------------------------------------
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        kind: str = "data",
+        meta: Optional[dict] = None,
+    ) -> Generator[Event, None, Packet]:
+        """Move ``size`` bytes from ``src`` to ``dst``; returns the packet.
+
+        Store-and-forward over each hop: the caller resumes when the
+        message has fully arrived at ``dst``.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if src == dst:
+            # Loopback: same-node IPC is effectively free at this scale.
+            return Packet(src, dst, size, kind, self.env.now, meta or {})
+        self.total_transfers += 1
+        packet = Packet(src, dst, size, kind, self.env.now, meta or {})
+        hop_src = src
+        for link in self.route(src, dst):
+            hop_dst = link.b.name if link.a.name == hop_src else link.a.name
+            yield from link.traverse(hop_src, hop_dst, packet)
+            hop_src = hop_dst
+        return packet
+
+    # -- monitoring ---------------------------------------------------------
+    def traffic_report(self) -> Dict[str, Dict[str, tuple]]:
+        """Per-link, per-direction (packets, bytes) counts."""
+        report: Dict[str, Dict[str, tuple]] = {}
+        seen = set()
+        for entries in self._adjacency.values():
+            for _neighbor, link in entries:
+                if id(link) in seen:
+                    continue
+                seen.add(id(link))
+                directions = {}
+                for (dsrc, ddst), chain in link._chains.items():
+                    counter = chain.find(Counter)
+                    directions[f"{dsrc}->{ddst}"] = (counter.packets, counter.bytes)
+                report[link.name] = directions
+        return report

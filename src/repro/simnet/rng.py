@@ -1,0 +1,70 @@
+"""Deterministic random-number streams.
+
+Every source of randomness in the simulation (client think-time jitter,
+page selection, database execution-time noise, ...) draws from a named
+stream derived from a single master seed.  Two runs with the same master
+seed are identical; changing one subsystem's draw pattern does not perturb
+the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Streams"]
+
+
+def _derive_seed(master: int, name: str) -> int:
+    digest = hashlib.sha256(f"{master}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Streams:
+    """A factory of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, master_seed: int = 2003):
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """The stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(_derive_seed(self.master_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    # -- convenience draws -------------------------------------------------
+    def uniform(self, name: str, low: float, high: float) -> float:
+        return self.get(name).uniform(low, high)
+
+    def expovariate(self, name: str, mean: float) -> float:
+        """Exponential draw with the given *mean* (not rate)."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self.get(name).expovariate(1.0 / mean)
+
+    def choice(self, name: str, items: Sequence[T]) -> T:
+        return self.get(name).choice(items)
+
+    def weighted_choice(self, name: str, items: Sequence[T], weights: Sequence[float]) -> T:
+        """One weighted draw (weights need not sum to 1)."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must be the same length")
+        return self.get(name).choices(list(items), weights=list(weights), k=1)[0]
+
+    def randint(self, name: str, low: int, high: int) -> int:
+        return self.get(name).randint(low, high)
+
+    def sample(self, name: str, items: Sequence[T], k: int) -> List[T]:
+        return self.get(name).sample(list(items), k)
+
+    def jitter(self, name: str, base: float, fraction: float = 0.1) -> float:
+        """``base`` perturbed by a uniform +/- ``fraction`` multiplier."""
+        if base < 0:
+            raise ValueError("base must be non-negative")
+        return base * self.get(name).uniform(1.0 - fraction, 1.0 + fraction)

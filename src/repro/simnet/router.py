@@ -1,0 +1,234 @@
+"""Click-style modular router elements.
+
+The paper's testbed emulates the WAN with "a software router built with
+the Click modular router infrastructure; traffic shaping components were
+used to simulate 100 ms latency each way ... with 100 Mbit/s maximum
+combined network bandwidth".  This module reproduces that structure: a
+link's behaviour is an *element chain* — classifier, counters, bandwidth
+shaper, fixed-delay — through which every packet passes.
+
+Elements are generator-based: ``traverse(packet)`` yields simulation
+events and returns when the packet exits the element.  A chain composes
+elements with ``yield from``, so a packet's end-to-end latency is exactly
+the sum of the element behaviours it encounters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from .kernel import Environment, Event
+from .primitives import Resource
+from .rng import Streams
+
+__all__ = [
+    "Packet",
+    "Element",
+    "FixedDelay",
+    "BandwidthShaper",
+    "TokenBucketShaper",
+    "Counter",
+    "Classifier",
+    "LossElement",
+    "PacketLoss",
+    "ElementChain",
+]
+
+
+@dataclass
+class Packet:
+    """A unit of network transfer.
+
+    ``kind`` tags the protocol ("http", "rmi", "jdbc", "jms", "dgc") so
+    classifiers and monitors can differentiate traffic, mirroring Click's
+    header-based classification.
+    """
+
+    src: str
+    dst: str
+    size: int
+    kind: str = "data"
+    created: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+class PacketLoss(Exception):
+    """Raised when a loss element drops the traversing packet."""
+
+    def __init__(self, packet: Packet):
+        super().__init__(f"packet {packet.kind} {packet.src}->{packet.dst} dropped")
+        self.packet = packet
+
+
+class Element:
+    """Base router element.  Subclasses override :meth:`traverse`."""
+
+    name = "element"
+
+    def traverse(self, packet: Packet) -> Generator[Event, Any, None]:
+        """Pass ``packet`` through this element; yield kernel events."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator in subclasses' eyes
+
+
+class FixedDelay(Element):
+    """Adds a constant propagation latency (the WAN's 100 ms each way)."""
+
+    name = "delay"
+
+    def __init__(self, env: Environment, delay: float):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.env = env
+        self.delay = delay
+
+    def traverse(self, packet: Packet):
+        if self.delay > 0:
+            yield self.env.timeout(self.delay)
+
+
+class BandwidthShaper(Element):
+    """Serializes packets onto a fixed-rate output port.
+
+    ``bandwidth`` is in bytes per millisecond.  Transmission of a packet
+    occupies the port for ``size / bandwidth`` ms; packets queue FIFO
+    behind one another, which is how shared-bandwidth contention appears.
+    """
+
+    name = "shaper"
+
+    def __init__(self, env: Environment, bandwidth: float):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth = bandwidth
+        self._port = Resource(env, capacity=1, name="shaper-port")
+
+    def transmission_delay(self, size: int) -> float:
+        return size / self.bandwidth
+
+    def traverse(self, packet: Packet):
+        yield from self._port.use(self.transmission_delay(packet.size))
+
+    def utilization(self) -> float:
+        return self._port.utilization()
+
+
+class TokenBucketShaper(Element):
+    """Token-bucket rate limiter (rate bytes/ms, burst bytes).
+
+    Unlike :class:`BandwidthShaper` this admits bursts up to the bucket
+    depth at line rate, then throttles to the sustained rate.
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, env: Environment, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.env = env
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last_fill = env.now
+
+    def _refill(self) -> None:
+        now = self.env.now
+        self._tokens = min(self.burst, self._tokens + (now - self._last_fill) * self.rate)
+        self._last_fill = now
+
+    def traverse(self, packet: Packet):
+        self._refill()
+        if packet.size <= self._tokens:
+            self._tokens -= packet.size
+            return
+        deficit = packet.size - self._tokens
+        self._tokens = 0.0
+        wait = deficit / self.rate
+        yield self.env.timeout(wait)
+        self._refill()
+        self._tokens = max(0.0, self._tokens - deficit)
+
+
+class Counter(Element):
+    """Counts packets and bytes, optionally per protocol kind."""
+
+    name = "counter"
+
+    def __init__(self):
+        self.packets = 0
+        self.bytes = 0
+        self.by_kind: dict = {}
+
+    def traverse(self, packet: Packet):
+        self.packets += 1
+        self.bytes += packet.size
+        stats = self.by_kind.setdefault(packet.kind, [0, 0])
+        stats[0] += 1
+        stats[1] += packet.size
+        return
+        yield  # pragma: no cover
+
+
+class Classifier(Element):
+    """Routes packets to one of several sub-chains by protocol kind.
+
+    ``branches`` maps a kind to an :class:`ElementChain`; unmatched kinds
+    take the ``default`` chain (which may be empty).
+    """
+
+    name = "classifier"
+
+    def __init__(self, branches: dict, default: Optional["ElementChain"] = None):
+        self.branches = dict(branches)
+        self.default = default if default is not None else ElementChain([])
+
+    def traverse(self, packet: Packet):
+        chain = self.branches.get(packet.kind, self.default)
+        yield from chain.traverse(packet)
+
+
+class LossElement(Element):
+    """Drops packets with a fixed probability (0 by default everywhere).
+
+    The paper's emulated testbed is loss-free; this element exists for the
+    failure-injection tests and the mutable-services experiments.
+    """
+
+    name = "loss"
+
+    def __init__(self, probability: float, streams: Streams, stream_name: str = "loss"):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.streams = streams
+        self.stream_name = stream_name
+        self.dropped = 0
+
+    def traverse(self, packet: Packet):
+        if self.probability > 0.0:
+            draw = self.streams.get(self.stream_name).random()
+            if draw < self.probability:
+                self.dropped += 1
+                raise PacketLoss(packet)
+        return
+        yield  # pragma: no cover
+
+
+class ElementChain:
+    """An ordered pipeline of elements a packet traverses in sequence."""
+
+    def __init__(self, elements: List[Element]):
+        self.elements = list(elements)
+
+    def traverse(self, packet: Packet) -> Generator[Event, Any, None]:
+        for element in self.elements:
+            yield from element.traverse(packet)
+
+    def find(self, element_type: type) -> Optional[Element]:
+        """First element of the given type, or None."""
+        for element in self.elements:
+            if isinstance(element, element_type):
+                return element
+        return None

@@ -1,0 +1,157 @@
+"""Connection-oriented transport on top of :class:`~repro.simnet.network.Network`.
+
+Models the TCP-level behaviour that drives the paper's headline numbers:
+
+* Opening a connection costs one round trip (SYN / SYN-ACK).  The paper:
+  "accessing the service from a WAN link incurs approximately an extra
+  400 ms, which is due to two round trips: one for TCP handshaking and
+  another for the HTTP request (we did not use keep-alive HTTP
+  connections)".
+* A request/response exchange on an open connection costs one round trip
+  plus transmission time plus whatever the server-side handler does.
+* Connection pools model JDBC connection reuse and RMI's persistent
+  sockets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Optional, Tuple
+
+from .kernel import Environment, Event
+from .network import Network
+
+__all__ = ["Connection", "ConnectionPool", "TransportError", "SYN_SIZE", "ACK_SIZE"]
+
+SYN_SIZE = 64
+ACK_SIZE = 64
+
+
+class TransportError(Exception):
+    """Raised on misuse of a connection (e.g. request on a closed one)."""
+
+
+class Connection:
+    """A bidirectional virtual circuit between two nodes.
+
+    The connection is directional in naming only: ``client`` opened it
+    towards ``server``.  Either side may be the sender of a given
+    exchange, but in this repository exchanges always originate at the
+    client side.
+    """
+
+    def __init__(self, network: Network, client: str, server: str, kind: str = "tcp"):
+        self.network = network
+        self.env: Environment = network.env
+        self.client = client
+        self.server = server
+        self.kind = kind
+        self.is_open = False
+        self.requests_sent = 0
+        self.opened_at: Optional[float] = None
+
+    def open(self) -> Generator[Event, None, "Connection"]:
+        """Three-way handshake: one full round trip before data can flow."""
+        if self.is_open:
+            raise TransportError("connection already open")
+        yield from self.network.transfer(self.client, self.server, SYN_SIZE, kind=self.kind)
+        yield from self.network.transfer(self.server, self.client, ACK_SIZE, kind=self.kind)
+        # The final ACK piggybacks on the first data segment; no extra wait.
+        self.is_open = True
+        self.opened_at = self.env.now
+        return self
+
+    def close(self) -> None:
+        """Tear down (FIN exchange is not awaited by the application)."""
+        self.is_open = False
+
+    def request(
+        self,
+        request_size: int,
+        handler: Callable[[], Generator[Event, Any, Any]],
+        response_size: Optional[int] = None,
+        response_size_of: Optional[Callable[[Any], int]] = None,
+    ) -> Generator[Event, Any, Any]:
+        """One request/response exchange.
+
+        ``handler`` is a zero-argument callable returning a generator that
+        performs the server-side work (CPU, nested calls, ...).  Its return
+        value becomes this generator's return value.  The response size is
+        either fixed (``response_size``) or derived from the handler result
+        (``response_size_of``).
+        """
+        if not self.is_open:
+            raise TransportError("request on a closed connection")
+        self.requests_sent += 1
+        yield from self.network.transfer(self.client, self.server, request_size, kind=self.kind)
+        result = yield from handler()
+        if response_size_of is not None:
+            size = response_size_of(result)
+        elif response_size is not None:
+            size = response_size
+        else:
+            raise TransportError("response size unspecified")
+        yield from self.network.transfer(self.server, self.client, size, kind=self.kind)
+        return result
+
+
+class ConnectionPool:
+    """A per-(client, server) pool of open connections.
+
+    Used by the JDBC driver (database connection pooling) and the RMI
+    transport (persistent sockets).  ``checkout`` opens a new connection —
+    paying the handshake — only when the pool is empty.
+    """
+
+    def __init__(self, network: Network, kind: str, max_per_pair: int = 32):
+        if max_per_pair <= 0:
+            raise ValueError("max_per_pair must be positive")
+        self.network = network
+        self.kind = kind
+        self.max_per_pair = max_per_pair
+        self._idle: Dict[Tuple[str, str], Deque[Connection]] = {}
+        self.opened = 0
+        self.reused = 0
+
+    def checkout(self, client: str, server: str) -> Generator[Event, None, Connection]:
+        """Borrow an open connection, creating one if necessary."""
+        idle = self._idle.setdefault((client, server), deque())
+        if idle:
+            self.reused += 1
+            return idle.popleft()
+        connection = Connection(self.network, client, server, kind=self.kind)
+        yield from connection.open()
+        self.opened += 1
+        return connection
+
+    def checkin(self, connection: Connection) -> None:
+        """Return a connection for reuse (closed if the pool is full)."""
+        if not connection.is_open:
+            return
+        idle = self._idle.setdefault((connection.client, connection.server), deque())
+        if len(idle) >= self.max_per_pair:
+            connection.close()
+        else:
+            idle.append(connection)
+
+    def exchange(
+        self,
+        client: str,
+        server: str,
+        request_size: int,
+        handler: Callable[[], Generator[Event, Any, Any]],
+        response_size: Optional[int] = None,
+        response_size_of: Optional[Callable[[Any], int]] = None,
+    ) -> Generator[Event, Any, Any]:
+        """Checkout, one request/response, checkin.  The common pattern."""
+        connection = yield from self.checkout(client, server)
+        try:
+            result = yield from connection.request(
+                request_size,
+                handler,
+                response_size=response_size,
+                response_size_of=response_size_of,
+            )
+        finally:
+            self.checkin(connection)
+        return result

@@ -1,0 +1,6 @@
+"""Client simulation: usage-pattern-driven load generation and metrics."""
+
+from .client import Client
+from .generator import LoadGenerator, WorkloadConfig
+
+__all__ = ["Client", "LoadGenerator", "WorkloadConfig"]

@@ -1,0 +1,114 @@
+"""Emulated clients (§3.3).
+
+Each client repeatedly runs sessions of its usage pattern with *soft
+delays*: "instead of waiting a predefined DELAY time interval after
+receiving response from the previous request, the client waits for only
+DELAY - response time.  So effectively DELAY becomes the time interval
+between sending requests, which allowed us to simulate steady client
+load independent of response times."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from ..core.distribution import DeployedSystem
+from ..core.usage import UsagePattern
+from ..middleware.web import ServerUnavailable, WebRequest, http_get
+from ..simnet.kernel import Environment, Event
+from ..simnet.monitor import ResponseTimeMonitor
+from ..simnet.rng import Streams
+
+__all__ = ["Client"]
+
+_client_ids = itertools.count(1)
+
+
+class Client:
+    """One emulated user bound to a client machine and a usage pattern."""
+
+    def __init__(
+        self,
+        system: DeployedSystem,
+        monitor: ResponseTimeMonitor,
+        streams: Streams,
+        client_node: str,
+        group: str,
+        pattern: UsagePattern,
+        think_time: float,
+        start_offset: float = 0.0,
+        end_time: Optional[float] = None,
+    ):
+        self.id = next(_client_ids)
+        self.system = system
+        self.monitor = monitor
+        self.streams = streams
+        self.client_node = client_node
+        self.group = group
+        self.pattern = pattern
+        self.think_time = think_time
+        self.start_offset = start_offset
+        self.end_time = end_time
+        self.requests_sent = 0
+        self.sessions_completed = 0
+        self.errors = 0
+        self.failovers = 0
+
+    def run(self, env: Environment) -> Generator[Event, None, None]:
+        """The client process: sessions back-to-back until ``end_time``."""
+        if self.start_offset > 0:
+            yield env.timeout(self.start_offset)
+        session_index = 0
+        while self.end_time is None or env.now < self.end_time:
+            session_id = f"c{self.id}-s{session_index}"
+            visits = self.pattern.session(self.streams, session_index)
+            session_index += 1
+            for visit in visits:
+                if self.end_time is not None and env.now >= self.end_time:
+                    return
+                request = WebRequest(
+                    page=visit.page,
+                    params=dict(visit.params),
+                    session_id=session_id,
+                    client_node=self.client_node,
+                )
+                started = env.now
+                response_time = yield from self._fetch(env, request)
+                if response_time is None:
+                    # Both entry points down: the visit is lost.
+                    self.errors += 1
+                    response_time = env.now - started
+                else:
+                    self.requests_sent += 1
+                    self.monitor.observe(
+                        env.now, self.group, visit.page, response_time
+                    )
+                # Soft delay: the think time absorbs the response time.
+                remaining = self.think_time - response_time
+                if remaining > 0:
+                    yield env.timeout(remaining)
+            self.sessions_completed += 1
+
+    def _fetch(self, env: Environment, request: WebRequest):
+        """One page fetch with client-side failover to the main server.
+
+        A distributed service offers multiple entry points — "client
+        requests can utilize several entry points into the service" (§1)
+        — so when the local edge is down, the client falls back to the
+        main server after the connect timeout.  Session state lives on
+        the failed edge, so mid-session state is lost, but browse pages
+        keep working.
+        """
+        server = self.system.entry_server_for(self.client_node)
+        started = env.now
+        try:
+            yield from http_get(env, server, request, client_group=self.group)
+            return env.now - started
+        except ServerUnavailable:
+            fallback = self.system.main
+            if fallback is server or not fallback.available:
+                return None
+            self.failovers += 1
+            yield from http_get(env, fallback, request, client_group=self.group)
+            return env.now - started

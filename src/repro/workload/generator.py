@@ -1,0 +1,134 @@
+"""The load generator: the paper's client population (§3.3).
+
+"In all of our tests, we use a combined client load of 30 web page
+requests per second, coming from a mixture of 80% browsers and 20%
+buyers/bidders, equally divided between all client machines (10 HTTP
+requests per second coming from each of the three client groups)."
+
+Each client issues one request per ``think_time`` on average (soft
+delays make the rate response-time independent), so a group of
+``rate x think_time`` clients produces ``rate`` requests/second.
+Client start times are staggered across one think-time interval to
+avoid lockstep arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.distribution import DeployedSystem
+from ..core.usage import UsagePattern
+from ..simnet.kernel import Environment
+from ..simnet.monitor import ResponseTimeMonitor
+from ..simnet.rng import Streams
+from .client import Client
+
+__all__ = ["WorkloadConfig", "LoadGenerator"]
+
+
+@dataclass
+class WorkloadConfig:
+    """Paper defaults: 30 req/s combined, 80/20 mix, soft think time."""
+
+    total_rate_per_s: float = 30.0
+    browser_fraction: float = 0.8
+    think_time_ms: float = 7_000.0
+    duration_ms: float = 120_000.0
+    warmup_ms: float = 20_000.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.browser_fraction <= 1.0:
+            raise ValueError("browser_fraction must be in [0, 1]")
+        if self.total_rate_per_s <= 0 or self.think_time_ms <= 0:
+            raise ValueError("rate and think time must be positive")
+
+
+class LoadGenerator:
+    """Builds and runs the full client population against a deployment."""
+
+    def __init__(
+        self,
+        system: DeployedSystem,
+        streams: Streams,
+        browser_pattern: UsagePattern,
+        writer_pattern: UsagePattern,
+        config: Optional[WorkloadConfig] = None,
+        writer_group_name: str = "buyer",
+    ):
+        self.system = system
+        self.streams = streams
+        self.browser_pattern = browser_pattern
+        self.writer_pattern = writer_pattern
+        self.config = config or WorkloadConfig()
+        self.writer_group_name = writer_group_name
+        self.monitor = ResponseTimeMonitor(warmup=self.config.warmup_ms)
+        self.clients: List[Client] = []
+
+    # -- population maths ---------------------------------------------------
+    def _group_rate(self) -> float:
+        """Requests/second contributed by each server's client group."""
+        groups = len(self.system.testbed.app_servers)
+        return self.config.total_rate_per_s / groups
+
+    def clients_per_group(self) -> Dict[str, int]:
+        """(browsers, writers) per group, from rate x think time."""
+        per_group = self._group_rate() * self.config.think_time_ms / 1000.0
+        browsers = max(1, round(per_group * self.config.browser_fraction))
+        writers = max(1, round(per_group * (1.0 - self.config.browser_fraction)))
+        return {"browser": browsers, "writer": writers}
+
+    # -- assembly -----------------------------------------------------------
+    def build(self) -> List[Client]:
+        """Create the client population (idempotent)."""
+        if self.clients:
+            return self.clients
+        counts = self.clients_per_group()
+        testbed = self.system.testbed
+        end_time = self.config.duration_ms
+        stagger_stream = self.streams.get("client-stagger")
+        for server_name in testbed.app_servers:
+            locality = "local" if server_name == testbed.main_server else "remote"
+            machines = testbed.clients_of(server_name)
+            specs = [("browser", self.browser_pattern, counts["browser"])]
+            specs.append((self.writer_group_name, self.writer_pattern, counts["writer"]))
+            for kind, pattern, count in specs:
+                group = f"{locality}-{kind if kind != 'writer' else self.writer_group_name}"
+                for index in range(count):
+                    machine = machines[index % len(machines)]
+                    self.clients.append(
+                        Client(
+                            system=self.system,
+                            monitor=self.monitor,
+                            streams=self.streams,
+                            client_node=machine,
+                            group=group,
+                            pattern=pattern,
+                            think_time=self.config.think_time_ms,
+                            start_offset=stagger_stream.uniform(
+                                0, self.config.think_time_ms
+                            ),
+                            end_time=end_time,
+                        )
+                    )
+        return self.clients
+
+    def start(self, env: Environment) -> None:
+        """Register every client as a simulation process."""
+        for client in self.build():
+            env.process(client.run(env), name=f"client-{client.id}")
+
+    def run(self, env: Environment) -> ResponseTimeMonitor:
+        """Start the population and run the simulation to completion."""
+        self.start(env)
+        env.run()
+        return self.monitor
+
+    # -- reporting ------------------------------------------------------------
+    def total_requests(self) -> int:
+        return sum(client.requests_sent for client in self.clients)
+
+    def achieved_rate_per_s(self) -> float:
+        if not self.clients:
+            return 0.0
+        return self.total_requests() / (self.config.duration_ms / 1000.0)

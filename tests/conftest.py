@@ -1,0 +1,41 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.simnet.kernel import Environment
+from repro.simnet.network import Network
+from repro.simnet.rng import Streams
+from repro.simnet.topology import TestbedConfig, build_testbed
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def streams():
+    return Streams(1234)
+
+
+@pytest.fixture
+def network(env):
+    net = Network(env)
+    net.add_node("a", cpus=2)
+    net.add_node("b", cpus=2)
+    net.add_node("c", cpus=2)
+    net.add_link("a", "b", latency=5.0, bandwidth=10_000.0)
+    net.add_link("b", "c", latency=100.0, bandwidth=12_500.0)
+    return net
+
+
+@pytest.fixture
+def testbed(env):
+    return build_testbed(env, TestbedConfig())

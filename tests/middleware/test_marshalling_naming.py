@@ -1,0 +1,120 @@
+"""Unit tests for marshalling size estimation and JNDI naming."""
+
+import pytest
+
+from repro.middleware.marshalling import call_size, result_size, sizeof
+from repro.middleware.naming import HomeCache, JndiRegistry, NamingError
+
+
+# ---------------------------------------------------------------------------
+# Marshalling
+# ---------------------------------------------------------------------------
+
+
+def test_sizeof_primitives():
+    assert sizeof(None) == 1
+    assert sizeof(True) == 2
+    assert sizeof(42) == 9
+    assert sizeof(3.14) == 9
+
+
+def test_sizeof_strings_scale_with_length():
+    assert sizeof("abc") == 10
+    assert sizeof("abc" * 100) > sizeof("abc")
+
+
+def test_sizeof_containers_sum_elements():
+    assert sizeof([1, 2, 3]) == 24 + 3 * 9
+    assert sizeof({"k": "v"}) == 24 + sizeof("k") + sizeof("v")
+    assert sizeof((1,)) < sizeof((1, 2))
+
+
+def test_sizeof_objects_use_dict_or_wire_size():
+    class Plain:
+        def __init__(self):
+            self.a = 1
+
+    class Sized:
+        def wire_size(self):
+            return 777
+
+    assert sizeof(Plain()) > 32
+    assert sizeof(Sized()) == 777
+
+
+def test_sizeof_depth_bounded():
+    nested = []
+    cursor = nested
+    for _ in range(50):
+        inner = []
+        cursor.append(inner)
+        cursor = inner
+    assert sizeof(nested) > 0  # terminates
+
+
+def test_call_size_includes_method_and_args():
+    small = call_size(100, 10, "m", ())
+    larger = call_size(100, 10, "m", ("payload" * 10,))
+    assert larger > small
+
+
+def test_result_size():
+    assert result_size(200, "x" * 100) == 200 + sizeof("x" * 100)
+
+
+# ---------------------------------------------------------------------------
+# Naming
+# ---------------------------------------------------------------------------
+
+
+def test_registry_bind_and_resolve():
+    registry = JndiRegistry("main")
+    registry.bind("Catalog", "container")
+    assert registry.resolve("Catalog") == "container"
+    assert registry.lookups == 1
+    assert "Catalog" in registry
+
+
+def test_registry_duplicate_bind_rejected():
+    registry = JndiRegistry("main")
+    registry.bind("Catalog", "a")
+    with pytest.raises(NamingError):
+        registry.bind("Catalog", "b")
+    registry.rebind("Catalog", "b")  # rebind is allowed
+    assert registry.resolve("Catalog") == "b"
+
+
+def test_registry_unbind_and_names():
+    registry = JndiRegistry("main")
+    registry.bind("B", 1)
+    registry.bind("A", 2)
+    assert registry.names() == ["A", "B"]
+    registry.unbind("A")
+    assert registry.resolve("A") is None
+
+
+def test_home_cache_hit_miss_counters():
+    cache = HomeCache()
+    assert cache.get("X") is None
+    cache.put("X", "ref")
+    assert cache.get("X") == "ref"
+    assert cache.misses == 1
+    assert cache.hits == 1
+
+
+def test_home_cache_disabled_never_caches():
+    cache = HomeCache(enabled=False)
+    cache.put("X", "ref")
+    assert cache.get("X") is None
+    assert cache.hits == 0
+
+
+def test_home_cache_invalidation():
+    cache = HomeCache()
+    cache.put("X", 1)
+    cache.put("Y", 2)
+    cache.invalidate("X")
+    assert cache.get("X") is None
+    assert cache.get("Y") == 2
+    cache.invalidate()
+    assert cache.get("Y") is None

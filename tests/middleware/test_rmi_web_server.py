@@ -1,0 +1,278 @@
+"""Unit tests for RMI references, the web tier, and AppServer semantics."""
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.middleware.context import InvocationContext, RequestInfo
+from repro.middleware.ejb import BeanError
+from repro.middleware.naming import NamingError
+from repro.middleware.rmi import AccessError, LocalRef, RemoteRef
+from repro.middleware.web import WebRequest, http_get
+from tests.helpers import run_process, tiny_system
+
+
+def _ctx(env, server, page="Notes", session="s1"):
+    return InvocationContext(
+        env=env,
+        server=server,
+        request=RequestInfo(page, "test", session, "client-main-0"),
+        costs=server.costs,
+        trace=server.trace,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference resolution
+# ---------------------------------------------------------------------------
+
+
+def test_local_component_resolves_to_local_ref():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    main = system.main
+    ctx = _ctx(env, main)
+
+    def proc():
+        ref = yield from main.lookup(ctx, "NotesFacade")
+        return ref
+
+    assert isinstance(run_process(env, proc()), LocalRef)
+
+
+def test_missing_component_resolves_remotely_to_main():
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        ref = yield from edge.lookup(ctx, "NotesFacade")
+        return ref
+
+    ref = run_process(env, proc())
+    # Level 2: NotesFacade (edge_from_level=3) lives only on main.
+    assert isinstance(ref, RemoteRef)
+    assert ref.target_server is system.main
+
+
+def test_read_lookup_prefers_readonly_replica():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        read_ref = yield from edge.lookup(ctx, "Note")
+        write_ref = yield from edge.lookup(ctx, "Note", for_update=True)
+        return read_ref, write_ref
+
+    read_ref, write_ref = run_process(env, proc())
+    assert isinstance(read_ref, LocalRef)  # the replica
+    assert isinstance(write_ref, RemoteRef)  # the central RW container
+    assert write_ref.target_server is system.main
+
+
+def test_central_suffix_forces_main():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        ref = yield from edge.lookup(ctx, "NotesFacade@central")
+        return ref
+
+    ref = run_process(env, proc())
+    assert isinstance(ref, RemoteRef)
+    assert ref.target_server is system.main
+
+
+def test_central_suffix_on_main_is_local():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    main = system.main
+    ctx = _ctx(env, main)
+
+    def proc():
+        ref = yield from main.lookup(ctx, "NotesFacade@central")
+        return ref
+
+    assert isinstance(run_process(env, proc()), LocalRef)
+
+
+def test_unknown_component_raises():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    ctx = _ctx(env, system.main)
+
+    def proc():
+        yield from system.main.lookup(ctx, "Ghost")
+
+    with pytest.raises(NamingError):
+        run_process(env, proc())
+
+
+def test_lookup_caches_resolved_refs():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        first = yield from edge.lookup(ctx, "NotesFacade@central")
+        second = yield from edge.lookup(ctx, "NotesFacade@central")
+        return first is second
+
+    assert run_process(env, proc()) is True
+    assert edge.home_cache.hits >= 1
+
+
+# ---------------------------------------------------------------------------
+# Remote invocation
+# ---------------------------------------------------------------------------
+
+
+def test_remote_call_costs_wan_round_trip():
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        ref = yield from edge.lookup(ctx, "NotesFacade")
+        yield from ref.call(ctx, "read_note", 1)  # cold: lookup + stub
+        start = env.now
+        yield from ref.call(ctx, "read_note", 1)  # warm
+        return env.now - start
+
+    warm = run_process(env, proc())
+    assert 200.0 < warm < 450.0  # 1 RTT + DGC fraction
+
+
+def test_local_interface_enforced_over_rmi():
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        ref = yield from edge.lookup(ctx, "Note")  # entity, local-only
+        yield from ref.entity(1).call(ctx, "get_text")
+
+    with pytest.raises(AccessError):
+        run_process(env, proc())
+
+
+def test_rmi_calls_recorded_in_trace():
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE, with_trace=True)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        ref = yield from edge.lookup(ctx, "NotesFacade")
+        yield from ref.call(ctx, "read_note", 1)
+
+    run_process(env, proc())
+    rmi_calls = system.trace.wide_area_calls("rmi")
+    assert len(rmi_calls) == 1
+    assert rmi_calls[0].target == "NotesFacade"
+    assert rmi_calls[0].page == "Notes"
+
+
+# ---------------------------------------------------------------------------
+# Web tier
+# ---------------------------------------------------------------------------
+
+
+def test_http_get_serves_mapped_page():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    system.warm_replicas()
+
+    def proc():
+        request = WebRequest(
+            page="Notes", params={"note_id": 1}, session_id="w1",
+            client_node="client-main-0",
+        )
+        response = yield from http_get(env, system.main, request)
+        return response
+
+    response = run_process(env, proc())
+    assert response.status == 200
+    assert response.data == {"text": "note text 1"}
+
+
+def test_http_unmapped_page_rejected():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+
+    def proc():
+        request = WebRequest(page="Nope", session_id="w1", client_node="client-main-0")
+        yield from http_get(env, system.main, request)
+
+    with pytest.raises(BeanError):
+        run_process(env, proc())
+
+
+def test_http_without_keep_alive_costs_two_round_trips():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    system.warm_replicas()
+
+    def proc():
+        request = WebRequest(
+            page="Notes", params={"note_id": 1}, session_id="w1",
+            client_node="client-edge1-0",
+        )
+        # Edge client to the *edge* server is LAN; go to main instead.
+        start = env.now
+        response = yield from http_get(env, system.main, request)
+        return env.now - start
+
+    elapsed = run_process(env, proc())
+    assert elapsed > 2 * 200.0  # handshake RTT + request RTT across the WAN
+
+
+def test_http_session_store_per_server():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    store = system.main.web_sessions
+    session = store.get("abc")
+    session["cart"] = [1]
+    assert store.get("abc")["cart"] == [1]
+    assert len(store) == 1
+    store.discard("abc")
+    assert len(store) == 0
+
+
+def test_entry_server_depends_on_level():
+    env, system = tiny_system(PatternLevel.CENTRALIZED)
+    assert system.entry_server_for("client-edge1-0") is system.main
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    assert system.entry_server_for("client-edge1-0").name == "edge1"
+
+
+def test_utilization_report_structure():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    report = system.utilization_report()
+    assert set(report) >= {"main", "edge1", "edge2"}
+    assert all(0.0 <= value <= 1.0 for value in report.values())
+
+
+def test_dgc_traffic_accompanies_rmi_calls():
+    """"more than half of the data traffic incurred by RMI is due to
+    distributed garbage collection" — the DGC bytes flow on the wire."""
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    edge = system.servers["edge1"]
+    ctx = _ctx(env, edge)
+
+    def proc():
+        ref = yield from edge.lookup(ctx, "NotesFacade")
+        for _ in range(5):
+            yield from ref.call(ctx, "read_note", 1)
+
+    run_process(env, proc())
+    network = system.testbed.network
+    rmi_bytes = 0
+    dgc_bytes = 0
+    for link, directions in network.traffic_report().items():
+        if not link.startswith("wan-"):
+            continue
+    # Count per-kind on the edge1 WAN link counters directly.
+    link = network.route("edge1", "main")[0]
+    for direction in ("edge1->router", "router->edge1"):
+        src, dst = direction.split("->")
+        counter = link.counter(src, dst)
+        rmi_bytes += counter.by_kind.get("rmi", [0, 0])[1]
+        dgc_bytes += counter.by_kind.get("dgc", [0, 0])[1]
+    assert dgc_bytes > 0
+    # The DGC lease traffic approximates the payload traffic in volume
+    # (~half of all RMI-related bytes), minus the one-time stub creation.
+    assert dgc_bytes > 0.4 * rmi_bytes

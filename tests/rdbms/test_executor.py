@@ -1,0 +1,241 @@
+"""Unit tests for query planning and execution."""
+
+import pytest
+
+from repro.rdbms.engine import Database
+from repro.rdbms.executor import ExecutionError
+from repro.rdbms.schema import Column, TableSchema
+from repro.rdbms.types import FLOAT, INTEGER, TEXT
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    database.create_table(
+        TableSchema(
+            "items",
+            [
+                Column("id", INTEGER),
+                Column("name", TEXT),
+                Column("category", INTEGER),
+                Column("price", FLOAT),
+            ],
+            primary_key="id",
+            indexes=["category"],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "cats",
+            [Column("id", INTEGER), Column("label", TEXT)],
+            primary_key="id",
+        )
+    )
+    for i in range(30):
+        database.execute(
+            "INSERT INTO items (id, name, category, price) VALUES (?, ?, ?, ?)",
+            (i, f"item-{i}", i % 3, 10.0 + i),
+        )
+    for i in range(3):
+        database.execute("INSERT INTO cats (id, label) VALUES (?, ?)", (i, f"cat-{i}"))
+    return database
+
+
+def test_full_scan_when_unindexed(db):
+    result = db.execute("SELECT * FROM items WHERE price > 35.0")
+    assert result.used_index is None
+    assert result.rows_scanned == 30
+    assert all(row["price"] > 35.0 for row in result.rows)
+
+
+def test_index_lookup_on_equality(db):
+    result = db.execute("SELECT * FROM items WHERE category = ?", (1,))
+    assert result.used_index == "items.category"
+    assert result.rows_scanned == 10
+    assert len(result.rows) == 10
+
+
+def test_primary_key_lookup(db):
+    result = db.execute("SELECT * FROM items WHERE id = 7")
+    assert result.used_index == "items.id"
+    assert result.first()["name"] == "item-7"
+
+
+def test_index_plus_residual_filter(db):
+    result = db.execute("SELECT * FROM items WHERE category = 1 AND price > 20.0")
+    assert result.used_index == "items.category"
+    assert all(row["price"] > 20.0 and row["category"] == 1 for row in result.rows)
+
+
+def test_projection_and_aliases(db):
+    result = db.execute("SELECT name AS label FROM items WHERE id = 3")
+    assert result.columns == ["label"]
+    assert result.rows == [{"label": "item-3"}]
+
+
+def test_order_by_and_limit(db):
+    result = db.execute("SELECT id FROM items ORDER BY price DESC LIMIT 3")
+    assert result.column("id") == [29, 28, 27]
+
+
+def test_order_by_ascending(db):
+    result = db.execute("SELECT id FROM items ORDER BY price LIMIT 2")
+    assert result.column("id") == [0, 1]
+
+
+def test_aggregate_count_star(db):
+    assert db.execute("SELECT COUNT(*) AS n FROM items").scalar() == 30
+
+
+def test_aggregate_functions(db):
+    result = db.execute(
+        "SELECT COUNT(id) AS n, MAX(price) AS mx, MIN(price) AS mn, "
+        "SUM(price) AS s, AVG(price) AS a FROM items WHERE category = 0"
+    )
+    row = result.first()
+    assert row["n"] == 10
+    assert row["mx"] == 37.0
+    assert row["mn"] == 10.0
+    assert row["s"] == pytest.approx(235.0)
+    assert row["a"] == pytest.approx(23.5)
+
+
+def test_aggregate_on_empty_set(db):
+    result = db.execute("SELECT COUNT(*) AS n, MAX(price) AS mx FROM items WHERE id = 999")
+    assert result.first() == {"n": 0, "mx": None}
+
+
+def test_mixing_aggregates_and_columns_rejected(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT name, COUNT(*) FROM items")
+
+
+def test_like_matching(db):
+    result = db.execute("SELECT id FROM items WHERE name LIKE '%item-2%'")
+    ids = set(result.column("id"))
+    assert ids == {2, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29}
+
+
+def test_join_with_qualified_columns(db):
+    result = db.execute(
+        "SELECT items.name, c.label FROM items JOIN cats c ON items.category = c.id "
+        "WHERE c.label = 'cat-1' AND items.price < 15.0"
+    )
+    # category-1 items with price < 15.0: item-1 (11.0) and item-4 (14.0).
+    assert result.rows == [
+        {"items.name": "item-1", "c.label": "cat-1"},
+        {"items.name": "item-4", "c.label": "cat-1"},
+    ]
+
+
+def test_join_row_count(db):
+    result = db.execute("SELECT items.id FROM items JOIN cats c ON items.category = c.id")
+    assert len(result.rows) == 30
+
+
+def test_insert_affects_and_scans(db):
+    result = db.execute(
+        "INSERT INTO items (id, name, category, price) VALUES (99, 'new', 0, 1.0)"
+    )
+    assert result.affected == 1
+    assert db.execute("SELECT name FROM items WHERE id = 99").scalar() == "new"
+
+
+def test_update_by_index(db):
+    result = db.execute("UPDATE items SET price = ? WHERE id = ?", (999.0, 3))
+    assert result.affected == 1
+    assert db.execute("SELECT price FROM items WHERE id = 3").scalar() == 999.0
+
+
+def test_update_many_rows(db):
+    result = db.execute("UPDATE items SET price = 0.0 WHERE category = 2")
+    assert result.affected == 10
+
+
+def test_delete(db):
+    db.execute("DELETE FROM items WHERE id = 5")
+    assert db.execute("SELECT COUNT(*) AS n FROM items WHERE id = 5").scalar() == 0
+
+
+def test_parameter_count_mismatch_rejected(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT * FROM items WHERE id = ?", ())
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT * FROM items WHERE id = ?", (1, 2))
+
+
+def test_unknown_table_rejected(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT * FROM nope")
+
+
+def test_scalar_requires_single_cell(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT * FROM items").scalar()
+
+
+def test_in_list_predicate(db):
+    result = db.execute("SELECT id FROM items WHERE id IN (1, 2, 3)")
+    assert sorted(result.column("id")) == [1, 2, 3]
+
+
+def test_null_comparisons_are_false():
+    database = Database("nulls")
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("id", INTEGER), Column("v", INTEGER, nullable=True)],
+            primary_key="id",
+        )
+    )
+    database.execute("INSERT INTO t (id, v) VALUES (1, NULL)")
+    assert len(database.execute("SELECT * FROM t WHERE v = NULL").rows) == 0
+    assert len(database.execute("SELECT * FROM t WHERE v < 5").rows) == 0
+
+
+# ---------------------------------------------------------------------------
+# GROUP BY
+# ---------------------------------------------------------------------------
+
+
+def test_group_by_counts_per_group(db):
+    result = db.execute(
+        "SELECT category, COUNT(*) AS n FROM items GROUP BY category"
+    )
+    assert sorted((r["category"], r["n"]) for r in result.rows) == [
+        (0, 10), (1, 10), (2, 10),
+    ]
+
+
+def test_group_by_multiple_aggregates(db):
+    result = db.execute(
+        "SELECT category, MAX(price) AS mx, AVG(price) AS avg_p FROM items "
+        "WHERE price < 30.0 GROUP BY category"
+    )
+    for row in result.rows:
+        assert row["mx"] < 30.0
+        assert row["avg_p"] <= row["mx"]
+
+
+def test_group_by_with_order_and_limit(db):
+    result = db.execute(
+        "SELECT category, SUM(price) AS total FROM items "
+        "GROUP BY category ORDER BY total DESC LIMIT 1"
+    )
+    assert len(result.rows) == 1
+    # Category 2 holds items 2,5,...,29: the highest prices.
+    assert result.rows[0]["category"] == 2
+
+
+def test_group_by_respects_where(db):
+    result = db.execute(
+        "SELECT category, COUNT(*) AS n FROM items WHERE id < 6 GROUP BY category"
+    )
+    assert sorted((r["category"], r["n"]) for r in result.rows) == [
+        (0, 2), (1, 2), (2, 2),
+    ]
+
+
+def test_group_by_star_rejected(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT * FROM items GROUP BY category")

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the relational engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdbms.engine import Database
+from repro.rdbms.schema import Column, TableSchema
+from repro.rdbms.types import INTEGER, TEXT
+
+_settings = settings(max_examples=60, deadline=None)
+
+
+def _make_db():
+    database = Database("prop")
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("id", INTEGER), Column("grp", INTEGER), Column("txt", TEXT)],
+            primary_key="id",
+            indexes=["grp"],
+        )
+    )
+    return database
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=5),
+        st.text(alphabet="abcxyz ", max_size=12),
+    ),
+    max_size=40,
+    unique_by=lambda r: r[0],
+)
+
+
+@given(rows=rows_strategy)
+@_settings
+def test_insert_select_roundtrip(rows):
+    """Every inserted row is retrievable by primary key, unchanged."""
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    for row_id, grp, txt in rows:
+        row = db.execute("SELECT * FROM t WHERE id = ?", (row_id,)).first()
+        assert row == {"id": row_id, "grp": grp, "txt": txt}
+
+
+@given(rows=rows_strategy, grp=st.integers(min_value=0, max_value=5))
+@_settings
+def test_index_scan_equivalence(rows, grp):
+    """Index-accelerated equality returns exactly what a full scan would."""
+    db = _make_db()
+    for row_id, row_grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, row_grp, txt))
+    indexed = db.execute("SELECT id FROM t WHERE grp = ?", (grp,))
+    expected = sorted(r[0] for r in rows if r[1] == grp)
+    assert sorted(indexed.column("id")) == expected
+    assert indexed.used_index == "t.grp"
+
+
+@given(rows=rows_strategy)
+@_settings
+def test_count_matches_inserts(rows):
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    assert db.execute("SELECT COUNT(*) AS n FROM t").scalar() == len(rows)
+
+
+@given(
+    rows=rows_strategy,
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["update", "delete", "insert"]),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=15,
+    ),
+)
+@_settings
+def test_rollback_restores_exact_state(rows, operations):
+    """Any mix of mutations inside a transaction fully undoes on rollback."""
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    snapshot = sorted(
+        (r["id"], r["grp"], r["txt"]) for r in db.execute("SELECT * FROM t").rows
+    )
+    tx = db.begin()
+    existing = {r[0] for r in rows}
+    inserted = set()
+    for op, key in operations:
+        try:
+            if op == "update":
+                db.execute("UPDATE t SET txt = 'mut' WHERE id = ?", (key,), transaction=tx)
+            elif op == "delete":
+                db.execute("DELETE FROM t WHERE id = ?", (key,), transaction=tx)
+                existing.discard(key)
+                inserted.discard(key)
+            else:
+                if key not in existing and key not in inserted:
+                    db.execute(
+                        "INSERT INTO t (id, grp, txt) VALUES (?, 0, 'new')",
+                        (key,),
+                        transaction=tx,
+                    )
+                    inserted.add(key)
+        except Exception:
+            raise
+    tx.rollback()
+    after = sorted(
+        (r["id"], r["grp"], r["txt"]) for r in db.execute("SELECT * FROM t").rows
+    )
+    assert after == snapshot
+
+
+@given(
+    rows=rows_strategy,
+    limit=st.integers(min_value=0, max_value=10),
+)
+@_settings
+def test_order_by_limit_sorted_prefix(rows, limit):
+    """ORDER BY + LIMIT returns the sorted prefix of the full result."""
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    limited = db.execute(f"SELECT id FROM t ORDER BY id LIMIT {limit}")
+    expected = sorted(r[0] for r in rows)[:limit]
+    assert limited.column("id") == expected
+
+
+@given(needle=st.text(alphabet="abcxyz", min_size=1, max_size=4), rows=rows_strategy)
+@_settings
+def test_like_agrees_with_substring(needle, rows):
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    result = db.execute("SELECT id FROM t WHERE txt LIKE ?", (f"%{needle}%",))
+    expected = sorted(r[0] for r in rows if needle.lower() in r[2].lower())
+    assert sorted(result.column("id")) == expected

@@ -1,0 +1,136 @@
+"""Unit tests for table storage and index maintenance."""
+
+import pytest
+
+from repro.rdbms.schema import Column, TableSchema
+from repro.rdbms.storage import StorageError, Table
+from repro.rdbms.types import INTEGER, TEXT
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        "people",
+        [Column("id", INTEGER), Column("name", TEXT), Column("city", TEXT)],
+        primary_key="id",
+        indexes=["city"],
+    )
+    return Table(schema)
+
+
+def test_insert_and_get(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    assert table.get(1) == {"id": 1, "name": "ann", "city": "nyc"}
+    assert len(table) == 1
+    assert 1 in table
+
+
+def test_get_returns_copy(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    row = table.get(1)
+    row["name"] = "mutated"
+    assert table.get(1)["name"] == "ann"
+
+
+def test_duplicate_primary_key_rejected(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    with pytest.raises(StorageError):
+        table.insert({"id": 1, "name": "bob", "city": "sf"})
+
+
+def test_null_primary_key_rejected():
+    schema = TableSchema(
+        "t", [Column("id", INTEGER, nullable=True)], primary_key="id"
+    )
+    with pytest.raises(StorageError):
+        Table(schema).insert({"id": None})
+
+
+def test_index_lookup(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    table.insert({"id": 2, "name": "bob", "city": "nyc"})
+    table.insert({"id": 3, "name": "eve", "city": "sf"})
+    rows = table.index_lookup("city", "nyc")
+    assert {row["id"] for row in rows} == {1, 2}
+
+
+def test_index_lookup_on_primary_key(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    assert table.index_lookup("id", 1)[0]["name"] == "ann"
+    assert table.index_lookup("id", 99) == []
+
+
+def test_index_lookup_unindexed_column_rejected(table):
+    with pytest.raises(StorageError):
+        table.index_lookup("name", "ann")
+
+
+def test_has_index(table):
+    assert table.has_index("id")
+    assert table.has_index("city")
+    assert not table.has_index("name")
+
+
+def test_update_maintains_indexes(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    before = table.update(1, {"city": "sf"})
+    assert before["city"] == "nyc"
+    assert table.index_lookup("city", "nyc") == []
+    assert table.index_lookup("city", "sf")[0]["id"] == 1
+
+
+def test_update_missing_row_rejected(table):
+    with pytest.raises(StorageError):
+        table.update(42, {"name": "x"})
+
+
+def test_primary_key_update_rejected(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    with pytest.raises(StorageError):
+        table.update(1, {"id": 2})
+
+
+def test_delete_removes_row_and_index_entries(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    deleted = table.delete(1)
+    assert deleted["name"] == "ann"
+    assert table.get(1) is None
+    assert table.index_lookup("city", "nyc") == []
+
+
+def test_delete_missing_rejected(table):
+    with pytest.raises(StorageError):
+        table.delete(42)
+
+
+def test_restore_after_delete(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    image = table.delete(1)
+    table.restore(image)
+    assert table.get(1) == image
+    assert table.index_lookup("city", "nyc")[0]["id"] == 1
+
+
+def test_restore_after_update_reverts_in_place(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    before = table.update(1, {"city": "sf", "name": "ann2"})
+    table.restore(before)
+    assert table.get(1) == before
+    assert table.index_lookup("city", "sf") == []
+
+
+def test_scan_iterates_copies(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    for row in table.scan():
+        row["name"] = "mutated"
+    assert table.get(1)["name"] == "ann"
+
+
+def test_truncate_and_bulk_load(table):
+    count = table.bulk_load(
+        {"id": i, "name": f"p{i}", "city": "nyc"} for i in range(5)
+    )
+    assert count == 5
+    table.truncate()
+    assert len(table) == 0
+    assert table.index_lookup("city", "nyc") == []

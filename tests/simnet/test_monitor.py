@@ -1,0 +1,121 @@
+"""Unit tests for tracing and response-time aggregation."""
+
+import pytest
+
+from repro.simnet.monitor import CallRecord, PageStats, ResponseTimeMonitor, Trace
+
+
+def _record(**overrides):
+    defaults = dict(
+        time=1.0,
+        kind="rmi",
+        src_node="edge1",
+        dst_node="main",
+        target="Catalog",
+        method="get_item",
+        wide_area=True,
+        page="Item",
+        request_id=1,
+    )
+    defaults.update(overrides)
+    return CallRecord(**defaults)
+
+
+def test_trace_records_and_queries():
+    trace = Trace()
+    trace.record(_record())
+    trace.record(_record(kind="jdbc", wide_area=False, request_id=2))
+    assert len(trace.by_kind("rmi")) == 1
+    assert len(trace.wide_area_calls()) == 1
+    assert trace.remote_targets() == {"Catalog"}
+
+
+def test_trace_disabled_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(_record())
+    assert trace.records == []
+
+
+def test_trace_max_records_drops_overflow():
+    trace = Trace(max_records=1)
+    trace.record(_record())
+    trace.record(_record())
+    assert len(trace.records) == 1
+    assert trace.dropped == 1
+
+
+def test_calls_per_request_counts_wide_area_only():
+    trace = Trace()
+    trace.record(_record(request_id=5))
+    trace.record(_record(request_id=5))
+    trace.record(_record(request_id=5, wide_area=False))
+    assert trace.calls_per_request("rmi") == {5: 2}
+    assert trace.calls_per_request("rmi", wide_area_only=False) == {5: 3}
+
+
+def test_page_stats_mean_min_max():
+    stats = PageStats()
+    for value in (10.0, 20.0, 30.0):
+        stats.add(value)
+    assert stats.mean == pytest.approx(20.0)
+    assert stats.minimum == 10.0
+    assert stats.maximum == 30.0
+    assert stats.count == 3
+
+
+def test_page_stats_stddev():
+    stats = PageStats()
+    for value in (10.0, 20.0):
+        stats.add(value)
+    assert stats.stddev == pytest.approx(5.0)
+
+
+def test_page_stats_percentile_requires_samples():
+    stats = PageStats()
+    stats.add(5.0, keep_sample=True)
+    stats.add(15.0, keep_sample=True)
+    stats.add(25.0, keep_sample=True)
+    assert stats.percentile(0.0) == 5.0
+    assert stats.percentile(1.0) == 25.0
+    assert stats.percentile(0.5) == 15.0
+
+
+def test_monitor_groups_and_pages():
+    monitor = ResponseTimeMonitor()
+    monitor.observe(10.0, "local-browser", "Item", 50.0)
+    monitor.observe(11.0, "remote-browser", "Item", 450.0)
+    assert monitor.groups() == ["local-browser", "remote-browser"]
+    assert monitor.pages("local-browser") == ["Item"]
+    assert monitor.mean("remote-browser", "Item") == 450.0
+
+
+def test_monitor_warmup_discards_early_samples():
+    monitor = ResponseTimeMonitor(warmup=100.0)
+    monitor.observe(50.0, "g", "P", 999.0)
+    monitor.observe(150.0, "g", "P", 10.0)
+    assert monitor.mean("g", "P") == 10.0
+    assert monitor.discarded_warmup == 1
+
+
+def test_monitor_session_mean_spans_pages():
+    monitor = ResponseTimeMonitor()
+    monitor.observe(1.0, "g", "A", 10.0)
+    monitor.observe(2.0, "g", "B", 30.0)
+    assert monitor.session_mean("g") == pytest.approx(20.0)
+
+
+def test_monitor_table_structure():
+    monitor = ResponseTimeMonitor()
+    monitor.observe(1.0, "g", "A", 10.0)
+    table = monitor.table()
+    assert table == {"g": {"A": 10.0}}
+
+
+def test_monitor_merge_combines_counts():
+    a = ResponseTimeMonitor()
+    b = ResponseTimeMonitor()
+    a.observe(1.0, "g", "P", 10.0)
+    b.observe(1.0, "g", "P", 30.0)
+    merged = a.merged(b)
+    assert merged.mean("g", "P") == pytest.approx(20.0)
+    assert merged.page_stats("g", "P").count == 2

@@ -1,0 +1,146 @@
+"""Unit tests for nodes, links, routing and transfers."""
+
+import pytest
+
+from repro.simnet.network import Network, NetworkError
+from tests.helpers import run_process
+
+
+def test_add_duplicate_node_rejected(env, network):
+    with pytest.raises(NetworkError):
+        network.add_node("a")
+
+
+def test_link_requires_existing_nodes(env, network):
+    with pytest.raises(NetworkError):
+        network.add_link("a", "zz", 1.0, 1000.0)
+
+
+def test_self_link_rejected(env, network):
+    with pytest.raises(NetworkError):
+        network.add_link("a", "a", 1.0, 1000.0)
+
+
+def test_route_is_hop_minimal(env, network):
+    path = network.route("a", "c")
+    assert [link.name for link in path] == ["a<->b", "b<->c"]
+
+
+def test_route_unreachable_raises(env, network):
+    network.add_node("island")
+    with pytest.raises(NetworkError):
+        network.route("a", "island")
+
+
+def test_route_same_node_is_empty(env, network):
+    assert network.route("a", "a") == []
+
+
+def test_path_latency_sums_links(env, network):
+    assert network.path_latency("a", "c") == pytest.approx(105.0)
+
+
+def test_transfer_takes_latency_plus_transmission(env, network):
+    def proc():
+        yield from network.transfer("a", "b", 10_000)
+        return env.now
+
+    # 10_000 bytes / 10_000 bytes-per-ms = 1 ms transmission + 5 ms latency.
+    assert run_process(env, proc()) == pytest.approx(6.0)
+
+
+def test_transfer_multihop_store_and_forward(env, network):
+    def proc():
+        yield from network.transfer("a", "c", 10_000)
+        return env.now
+
+    # Hop1: 1 + 5; hop2: 0.8 + 100.
+    assert run_process(env, proc()) == pytest.approx(6.0 + 0.8 + 100.0)
+
+
+def test_loopback_transfer_is_free(env, network):
+    def proc():
+        yield from network.transfer("a", "a", 1_000_000)
+        return env.now
+
+    assert run_process(env, proc()) == 0.0
+
+
+def test_transfer_negative_size_rejected(env, network):
+    def proc():
+        yield from network.transfer("a", "b", -1)
+
+    with pytest.raises(ValueError):
+        run_process(env, proc())
+
+
+def test_bandwidth_contention_on_shared_link(env, network):
+    finish = []
+
+    def sender(env):
+        yield from network.transfer("a", "b", 10_000)
+        finish.append(env.now)
+
+    env.process(sender(env))
+    env.process(sender(env))
+    env.run()
+    # Second transfer queues behind the first's 1 ms transmission.
+    assert finish == [pytest.approx(6.0), pytest.approx(7.0)]
+
+
+def test_directions_do_not_contend(env, network):
+    finish = []
+
+    def sender(env, src, dst):
+        yield from network.transfer(src, dst, 10_000)
+        finish.append(env.now)
+
+    env.process(sender(env, "a", "b"))
+    env.process(sender(env, "b", "a"))
+    env.run()
+    assert finish == [pytest.approx(6.0), pytest.approx(6.0)]
+
+
+def test_traffic_report_counts_per_direction(env, network):
+    def proc():
+        yield from network.transfer("a", "b", 500, kind="http")
+        yield from network.transfer("b", "a", 900, kind="http")
+
+    run_process(env, proc())
+    report = network.traffic_report()["a<->b"]
+    assert report["a->b"] == (1, 500)
+    assert report["b->a"] == (1, 900)
+
+
+def test_node_compute_charges_cpu(env, network):
+    node = network.node("a")
+
+    def proc():
+        yield from node.compute(10.0)
+        return env.now
+
+    assert run_process(env, proc()) == 10.0
+
+
+def test_node_compute_scales_with_speed(env):
+    net = Network(env)
+    fast = net.add_node("fast", cpus=1, cpu_speed=2.0)
+
+    def proc():
+        yield from fast.compute(10.0)
+        return env.now
+
+    assert run_process(env, proc()) == 5.0
+
+
+def test_node_compute_rejects_negative(env, network):
+    def proc():
+        yield from network.node("a").compute(-1.0)
+
+    with pytest.raises(ValueError):
+        run_process(env, proc())
+
+
+def test_unknown_node_raises(env, network):
+    with pytest.raises(NetworkError):
+        network.node("nope")

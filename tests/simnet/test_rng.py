@@ -1,0 +1,80 @@
+"""Unit tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.simnet.rng import Streams
+
+
+def test_same_seed_same_draws():
+    a = Streams(99)
+    b = Streams(99)
+    assert [a.uniform("x", 0, 1) for _ in range(5)] == [
+        b.uniform("x", 0, 1) for _ in range(5)
+    ]
+
+
+def test_different_seeds_differ():
+    a = Streams(1)
+    b = Streams(2)
+    assert [a.uniform("x", 0, 1) for _ in range(5)] != [
+        b.uniform("x", 0, 1) for _ in range(5)
+    ]
+
+
+def test_streams_are_independent():
+    """Draws on one stream do not perturb another."""
+    a = Streams(7)
+    b = Streams(7)
+    for _ in range(100):
+        a.uniform("noise", 0, 1)  # extra draws on an unrelated stream
+    assert a.uniform("signal", 0, 1) == b.uniform("signal", 0, 1)
+
+
+def test_stream_reuse_returns_same_object():
+    streams = Streams(5)
+    assert streams.get("a") is streams.get("a")
+    assert streams.get("a") is not streams.get("b")
+
+
+def test_expovariate_mean():
+    streams = Streams(11)
+    draws = [streams.expovariate("e", mean=50.0) for _ in range(20_000)]
+    assert sum(draws) / len(draws) == pytest.approx(50.0, rel=0.05)
+
+
+def test_expovariate_rejects_non_positive_mean():
+    with pytest.raises(ValueError):
+        Streams(1).expovariate("e", mean=0.0)
+
+
+def test_weighted_choice_respects_weights():
+    streams = Streams(3)
+    draws = [
+        streams.weighted_choice("w", ["a", "b"], [9.0, 1.0]) for _ in range(10_000)
+    ]
+    share_a = draws.count("a") / len(draws)
+    assert share_a == pytest.approx(0.9, abs=0.03)
+
+
+def test_weighted_choice_length_mismatch():
+    with pytest.raises(ValueError):
+        Streams(1).weighted_choice("w", ["a"], [1.0, 2.0])
+
+
+def test_jitter_bounds():
+    streams = Streams(13)
+    for _ in range(1000):
+        value = streams.jitter("j", base=100.0, fraction=0.2)
+        assert 80.0 <= value <= 120.0
+
+
+def test_jitter_rejects_negative_base():
+    with pytest.raises(ValueError):
+        Streams(1).jitter("j", base=-1.0)
+
+
+def test_randint_and_sample_deterministic():
+    a = Streams(21)
+    b = Streams(21)
+    assert a.randint("r", 0, 100) == b.randint("r", 0, 100)
+    assert a.sample("s", range(50), 5) == b.sample("s", range(50), 5)

@@ -1,0 +1,154 @@
+"""Unit tests for Click-style router elements."""
+
+import pytest
+
+from repro.simnet.kernel import Environment
+from repro.simnet.router import (
+    BandwidthShaper,
+    Classifier,
+    Counter,
+    ElementChain,
+    FixedDelay,
+    LossElement,
+    Packet,
+    PacketLoss,
+    TokenBucketShaper,
+)
+from repro.simnet.rng import Streams
+from tests.helpers import run_process
+
+
+def traverse(env, element_or_chain, packet):
+    def proc():
+        yield from element_or_chain.traverse(packet)
+        return env.now
+
+    return run_process(env, proc())
+
+
+def test_fixed_delay_adds_latency(env):
+    element = FixedDelay(env, 100.0)
+    finished = traverse(env, element, Packet("a", "b", 1000))
+    assert finished == 100.0
+
+
+def test_fixed_delay_zero_is_free(env):
+    element = FixedDelay(env, 0.0)
+    assert traverse(env, element, Packet("a", "b", 1000)) == 0.0
+
+
+def test_fixed_delay_rejects_negative(env):
+    with pytest.raises(ValueError):
+        FixedDelay(env, -1.0)
+
+
+def test_bandwidth_shaper_transmission_time(env):
+    shaper = BandwidthShaper(env, bandwidth=1000.0)  # bytes/ms
+    assert traverse(env, shaper, Packet("a", "b", 5000)) == pytest.approx(5.0)
+
+
+def test_bandwidth_shaper_serializes_packets(env):
+    shaper = BandwidthShaper(env, bandwidth=1000.0)
+    finish_times = []
+
+    def sender(env, size):
+        yield from shaper.traverse(Packet("a", "b", size))
+        finish_times.append(env.now)
+
+    env.process(sender(env, 5000))
+    env.process(sender(env, 5000))
+    env.run()
+    assert finish_times == [pytest.approx(5.0), pytest.approx(10.0)]
+
+
+def test_bandwidth_shaper_rejects_zero(env):
+    with pytest.raises(ValueError):
+        BandwidthShaper(env, bandwidth=0.0)
+
+
+def test_token_bucket_burst_passes_at_line_rate(env):
+    bucket = TokenBucketShaper(env, rate=100.0, burst=10_000.0)
+    assert traverse(env, bucket, Packet("a", "b", 5000)) == 0.0
+
+
+def test_token_bucket_throttles_beyond_burst(env):
+    bucket = TokenBucketShaper(env, rate=100.0, burst=1_000.0)
+
+    def proc():
+        yield from bucket.traverse(Packet("a", "b", 1_000))  # drains the bucket
+        yield from bucket.traverse(Packet("a", "b", 2_000))  # needs 20 ms refill
+        return env.now
+
+    assert run_process(env, proc()) == pytest.approx(20.0)
+
+
+def test_counter_counts_packets_and_bytes(env):
+    counter = Counter()
+
+    def proc():
+        yield from ElementChain([counter]).traverse(Packet("a", "b", 700, kind="rmi"))
+        yield from ElementChain([counter]).traverse(Packet("a", "b", 300, kind="http"))
+
+    run_process(env, proc())
+    assert counter.packets == 2
+    assert counter.bytes == 1000
+    assert counter.by_kind["rmi"] == [1, 700]
+
+
+def test_classifier_routes_by_kind(env):
+    slow = ElementChain([FixedDelay(env, 50.0)])
+    classifier = Classifier({"bulk": slow})
+
+    assert traverse(env, classifier, Packet("a", "b", 10, kind="bulk")) == 50.0
+    env2 = Environment()
+    classifier2 = Classifier({"bulk": ElementChain([FixedDelay(env2, 50.0)])})
+
+    def proc():
+        yield from classifier2.traverse(Packet("a", "b", 10, kind="other"))
+        return env2.now
+
+    assert run_process(env2, proc()) == 0.0
+
+
+def test_loss_element_drops_probabilistically(env):
+    streams = Streams(5)
+    loss = LossElement(1.0, streams)
+
+    def proc():
+        yield from loss.traverse(Packet("a", "b", 10))
+
+    with pytest.raises(PacketLoss):
+        run_process(env, proc())
+    assert loss.dropped == 1
+
+
+def test_loss_element_zero_probability_never_drops(env):
+    streams = Streams(5)
+    loss = LossElement(0.0, streams)
+
+    def proc():
+        for _ in range(100):
+            yield from loss.traverse(Packet("a", "b", 10))
+
+    run_process(env, proc())
+    assert loss.dropped == 0
+
+
+def test_loss_element_rejects_bad_probability(env):
+    with pytest.raises(ValueError):
+        LossElement(1.5, Streams(1))
+
+
+def test_element_chain_composes_delays(env):
+    chain = ElementChain(
+        [Counter(), BandwidthShaper(env, 1000.0), FixedDelay(env, 100.0)]
+    )
+    finished = traverse(env, chain, Packet("a", "b", 5000))
+    assert finished == pytest.approx(105.0)
+
+
+def test_element_chain_find(env):
+    counter = Counter()
+    chain = ElementChain([counter, FixedDelay(env, 1.0)])
+    assert chain.find(Counter) is counter
+    assert chain.find(BandwidthShaper) is None

@@ -1,0 +1,67 @@
+"""Unit tests for the paper's testbed topology (§3.1)."""
+
+import pytest
+
+from repro.simnet.topology import MBIT_PER_S, TestbedConfig, build_testbed
+from tests.helpers import run_process
+
+
+def test_default_testbed_structure(testbed):
+    assert testbed.main_server == "main"
+    assert testbed.edge_servers == ["edge1", "edge2"]
+    assert testbed.db_server == "db"
+    assert testbed.app_servers == ["main", "edge1", "edge2"]
+
+
+def test_three_clients_per_server(testbed):
+    for server in testbed.app_servers:
+        assert len(testbed.clients_of(server)) == 3
+
+
+def test_wan_latency_is_100ms_each_way(env, testbed):
+    def proc():
+        start = env.now
+        yield from testbed.network.transfer("edge1", "main", 100)
+        return env.now - start
+
+    elapsed = run_process(env, proc())
+    assert elapsed == pytest.approx(100.0, abs=2.0)
+
+
+def test_lan_is_sub_millisecond(env, testbed):
+    def proc():
+        start = env.now
+        yield from testbed.network.transfer("client-main-0", "main", 100)
+        return env.now - start
+
+    assert run_process(env, proc()) < 1.0
+
+
+def test_wide_area_predicate(testbed):
+    assert testbed.is_wide_area("edge1", "main")
+    assert testbed.is_wide_area("edge1", "edge2")
+    assert not testbed.is_wide_area("client-main-0", "main")
+    assert not testbed.is_wide_area("main", "db")
+    assert not testbed.is_wide_area("main", "main")
+
+
+def test_db_colocated_variant(env):
+    testbed = build_testbed(env, TestbedConfig(db_colocated=True))
+    assert testbed.db_server == "main"
+    assert "db" not in testbed.network.nodes
+
+
+def test_wan_bandwidth_is_100mbit(testbed):
+    assert testbed.config.wan_bandwidth == pytest.approx(100 * MBIT_PER_S)
+    assert 100 * MBIT_PER_S == pytest.approx(12_500.0)
+
+
+def test_custom_edge_count(env):
+    testbed = build_testbed(env, TestbedConfig(edge_servers=4))
+    assert len(testbed.edge_servers) == 4
+    assert len(testbed.app_servers) == 5
+
+
+def test_unknown_client_group_raises(testbed):
+    with pytest.raises(KeyError):
+        testbed.clients_of("nope")

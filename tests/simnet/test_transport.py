@@ -1,0 +1,151 @@
+"""Unit tests for connections and connection pools."""
+
+import pytest
+
+from repro.simnet.transport import Connection, ConnectionPool, TransportError
+from tests.helpers import run_process
+
+
+def _noop_handler(env, work=0.0):
+    def handler():
+        if work:
+            yield env.timeout(work)
+        return "result"
+
+    return handler
+
+
+def test_open_costs_one_round_trip(env, network):
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        return env.now
+
+    # SYN (64B) + SYN-ACK (64B): two one-way trips of ~5 ms latency each.
+    finished = run_process(env, proc())
+    assert finished == pytest.approx(2 * 5.0, abs=0.5)
+    assert connection.is_open
+
+
+def test_double_open_rejected(env, network):
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        yield from connection.open()
+
+    with pytest.raises(TransportError):
+        run_process(env, proc())
+
+
+def test_request_on_closed_connection_rejected(env, network):
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.request(100, _noop_handler(env), response_size=100)
+
+    with pytest.raises(TransportError):
+        run_process(env, proc())
+
+
+def test_request_round_trip_and_handler(env, network):
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        start = env.now
+        result = yield from connection.request(
+            1000, _noop_handler(env, work=3.0), response_size=1000
+        )
+        return result, env.now - start
+
+    result, elapsed = run_process(env, proc())
+    assert result == "result"
+    # one round trip (2 x 5 ms) + handler 3 ms + transmission.
+    assert elapsed == pytest.approx(13.0, abs=0.5)
+
+
+def test_response_size_of_uses_result(env, network):
+    connection = Connection(network, "a", "b")
+    seen = {}
+
+    def proc():
+        yield from connection.open()
+        yield from connection.request(
+            100,
+            _noop_handler(env),
+            response_size_of=lambda r: seen.setdefault("size", 2048) and 2048,
+        )
+
+    run_process(env, proc())
+    assert seen["size"] == 2048
+
+
+def test_missing_response_size_is_an_error(env, network):
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        yield from connection.request(100, _noop_handler(env))
+
+    with pytest.raises(TransportError):
+        run_process(env, proc())
+
+
+def test_pool_reuses_connections(env, network):
+    pool = ConnectionPool(network, kind="rmi")
+
+    def proc():
+        first = yield from pool.checkout("a", "b")
+        pool.checkin(first)
+        second = yield from pool.checkout("a", "b")
+        pool.checkin(second)
+        return first is second
+
+    assert run_process(env, proc()) is True
+    assert pool.opened == 1
+    assert pool.reused == 1
+
+
+def test_pool_distinguishes_pairs(env, network):
+    pool = ConnectionPool(network, kind="rmi")
+
+    def proc():
+        first = yield from pool.checkout("a", "b")
+        pool.checkin(first)
+        other = yield from pool.checkout("b", "c")
+        pool.checkin(other)
+        return first is other
+
+    assert run_process(env, proc()) is False
+    assert pool.opened == 2
+
+
+def test_pool_exchange_is_cheaper_when_warm(env, network):
+    pool = ConnectionPool(network, kind="rmi")
+    times = []
+
+    def proc():
+        for _ in range(2):
+            start = env.now
+            yield from pool.exchange(
+                "a", "b", 500, _noop_handler(env), response_size=500
+            )
+            times.append(env.now - start)
+
+    run_process(env, proc())
+    assert times[1] < times[0]  # no handshake the second time
+
+
+def test_pool_cap_closes_extras(env, network):
+    pool = ConnectionPool(network, kind="rmi", max_per_pair=1)
+
+    def proc():
+        first = yield from pool.checkout("a", "b")
+        second = yield from pool.checkout("a", "b")
+        pool.checkin(first)
+        pool.checkin(second)  # exceeds cap; should be closed
+        return second.is_open
+
+    assert run_process(env, proc()) is False

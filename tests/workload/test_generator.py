@@ -1,0 +1,111 @@
+"""Tests for the client population and load generation (§3.3)."""
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.core.usage import ScriptedPattern
+from repro.simnet.rng import Streams
+from repro.workload.generator import LoadGenerator, WorkloadConfig
+from tests.helpers import tiny_system
+
+
+def _notes_pattern(length=4):
+    return ScriptedPattern(
+        "notes",
+        ["Notes"] * length,
+        params_for=lambda streams, page, index: {
+            "note_id": streams.randint("note-pick", 1, 12)
+        },
+    )
+
+
+def _generator(level=PatternLevel.STATEFUL_CACHING, **config_overrides):
+    env, system = tiny_system(level)
+    system.warm_replicas()
+    config = WorkloadConfig(
+        total_rate_per_s=6.0,
+        browser_fraction=0.8,
+        think_time_ms=2_000.0,
+        duration_ms=20_000.0,
+        warmup_ms=4_000.0,
+    )
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    generator = LoadGenerator(
+        system,
+        Streams(77),
+        _notes_pattern(),
+        _notes_pattern(2),
+        config=config,
+        writer_group_name="writer",
+    )
+    return env, system, generator
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WorkloadConfig(browser_fraction=1.5)
+    with pytest.raises(ValueError):
+        WorkloadConfig(total_rate_per_s=0.0)
+
+
+def test_clients_per_group_math():
+    env, system, generator = _generator()
+    counts = generator.clients_per_group()
+    # 6 req/s over 3 groups = 2 req/s per group; 2 x 2 s think = 4 clients.
+    assert counts["browser"] == 3  # 80% of 4, rounded
+    assert counts["writer"] == 1
+
+
+def test_population_spans_all_client_machines():
+    env, system, generator = _generator()
+    clients = generator.build()
+    machines = {client.client_node for client in clients}
+    assert len(machines) == 9  # 3 machines x 3 groups
+    groups = {client.group for client in clients}
+    assert groups == {
+        "local-browser",
+        "local-writer",
+        "remote-browser",
+        "remote-writer",
+    }
+
+
+def test_build_is_idempotent():
+    env, system, generator = _generator()
+    assert generator.build() is generator.build()
+
+
+def test_achieved_rate_approximates_target():
+    env, system, generator = _generator()
+    generator.run(env)
+    assert generator.achieved_rate_per_s() == pytest.approx(6.0, rel=0.25)
+
+
+def test_soft_delay_keeps_rate_under_slow_responses():
+    """Soft delays make the request rate response-time independent."""
+    fast_env, _s, fast_gen = _generator(level=PatternLevel.STATEFUL_CACHING)
+    fast_gen.run(fast_env)
+    slow_env, _s, slow_gen = _generator(level=PatternLevel.CENTRALIZED)
+    slow_gen.run(slow_env)
+    # Centralized remote responses are ~400 ms slower, but the rate holds.
+    assert slow_gen.achieved_rate_per_s() == pytest.approx(
+        fast_gen.achieved_rate_per_s(), rel=0.15
+    )
+
+
+def test_monitor_receives_observations_after_warmup():
+    env, system, generator = _generator()
+    monitor = generator.run(env)
+    assert monitor.groups()
+    for group in monitor.groups():
+        assert monitor.session_mean(group) > 0
+    assert monitor.discarded_warmup > 0
+
+
+def test_clients_stop_at_duration():
+    env, system, generator = _generator(duration_ms=10_000.0)
+    generator.run(env)
+    # All sessions wound down shortly after the configured duration.
+    assert env.now < 10_000.0 + 5_000.0
+    assert all(client.requests_sent > 0 for client in generator.clients)
