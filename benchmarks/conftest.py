@@ -8,6 +8,7 @@ the figure benchmarks through this cache.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -26,6 +27,11 @@ from repro.experiments.runner import run_series
 BENCH_DURATION_MS = 150_000.0
 BENCH_WARMUP_MS = 40_000.0
 
+# Worker processes per series sweep.  The default (1) runs serially; set
+# REPRO_BENCH_JOBS=0 for one worker per CPU or N for exactly N workers.
+# Results are byte-identical either way — only the wall clock changes.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1")) or None
+
 _series_cache = {}
 
 
@@ -36,7 +42,9 @@ def bench_workload():
 def series_for(app: str):
     """The five-configuration series for ``app`` (cached per session)."""
     if app not in _series_cache:
-        _series_cache[app] = run_series(app, workload=bench_workload(), seed=2003)
+        _series_cache[app] = run_series(
+            app, workload=bench_workload(), seed=2003, jobs=BENCH_JOBS
+        )
     return _series_cache[app]
 
 

@@ -4,6 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+# Full-fidelity sweep: minutes of wall clock.  Excluded from the CI
+# smoke job (`-m "not slow"`).
+pytestmark = pytest.mark.slow
+
 from repro.core.patterns import PatternLevel
 from repro.experiments.tables import build_table, render_table
 

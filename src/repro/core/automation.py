@@ -24,9 +24,7 @@ from typing import Dict
 
 from ..middleware.descriptors import (
     ApplicationDescriptor,
-    ComponentDescriptor,
     QueryCacheDescriptor,
-    ReadMostlyDescriptor,
     UpdateMode,
 )
 from ..middleware.updates import (

@@ -10,7 +10,7 @@ for clients to issue page requests against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..middleware.costs import MiddlewareCosts

@@ -19,8 +19,8 @@ This is the paper's "stateful component instantiation and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator, List
 
 from ..middleware.descriptors import ComponentKind
 from ..middleware.server import AppServer

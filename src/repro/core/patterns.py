@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["PatternLevel", "PatternInfo", "PATTERN_CATALOG", "level_name"]
 

@@ -17,7 +17,7 @@ turns them into timed HTTP requests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..simnet.rng import Streams
 

@@ -2,6 +2,14 @@
 
 from . import calibration
 from .figures import FigureData, build_figure, figure_to_csv, render_figure
+from .parallel import (
+    CellResult,
+    CellTask,
+    default_jobs,
+    run_cells,
+    run_series_parallel,
+)
+from .progress import ProgressReporter
 from .runner import APPS, AppSpec, ExperimentResult, run_configuration, run_series
 from .tables import ResponseTimeTable, TableCell, build_table, render_table, table_to_csv
 
@@ -16,6 +24,12 @@ __all__ = [
     "ExperimentResult",
     "run_configuration",
     "run_series",
+    "CellResult",
+    "CellTask",
+    "default_jobs",
+    "run_cells",
+    "run_series_parallel",
+    "ProgressReporter",
     "ResponseTimeTable",
     "TableCell",
     "build_table",

@@ -8,6 +8,12 @@ Usage::
     python -m repro.experiments figure8           # RUBiS, Figure 8
     python -m repro.experiments all               # everything
     python -m repro.experiments table6 --duration 120 --warmup 30
+    python -m repro.experiments all --jobs 4      # four worker processes
+
+Every (application, configuration) cell is independent, so the sweep
+fans out across ``--jobs`` worker processes (default: one per CPU).
+Table/figure output on stdout is byte-identical for any ``--jobs``
+value; progress reporting goes to stderr.
 """
 
 from __future__ import annotations
@@ -15,8 +21,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..core.patterns import PatternLevel
 from .calibration import SIM_DURATION_MS, SIM_WARMUP_MS, default_workload
 from .figures import build_figure, figure_to_csv, render_figure
+from .parallel import default_jobs, run_cells
+from .progress import ProgressReporter
 from .runner import run_series
 from .tables import build_table, render_table, table_to_csv
 
@@ -55,31 +64,58 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of the text layout"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (default: one per CPU; "
+        "1 runs serially in-process; output is identical either way)",
+    )
     args = parser.parse_args(argv)
+    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
 
     if args.target == ABLATION_TARGET:
         from . import ablations
 
-        for name in ablations.__all__:
+        progress = ProgressReporter(len(ablations.ABLATIONS), label="ablations")
+        results = ablations.run_all_ablations(jobs=jobs, progress=progress)
+        for name in ablations.ABLATIONS:
             print(f"\n== {name} ==")
-            outcome = getattr(ablations, name)()
-            for key, value in outcome.items():
+            for key, value in results[name].items():
                 print(f"  {key}: {value}")
         return 0
 
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
     workload = default_workload(args.duration * 1000.0, args.warmup * 1000.0)
+    apps_needed = sorted({TARGETS[target][0] for target in targets})
 
-    series_cache = {}
+    levels = list(PatternLevel)
+    cells = [(app, level) for app in apps_needed for level in levels]
+    print(
+        f"[sweep] {len(cells)} cells x {args.duration:.0f}s simulated, "
+        f"{jobs} worker(s) ...",
+        file=sys.stderr,
+    )
+    progress = ProgressReporter(len(cells), label="cells")
+    if jobs == 1:
+        series_cache = {
+            app: run_series(app, workload=workload, seed=args.seed, progress=progress)
+            for app in apps_needed
+        }
+    else:
+        # One shared pool over every app's cells: a ten-cell `all` sweep
+        # keeps all workers busy instead of draining one app at a time.
+        results = run_cells(
+            cells, workload=workload, seed=args.seed, jobs=jobs, progress=progress
+        )
+        series_cache = {
+            app: {level: results[(app, level)] for level in levels}
+            for app in apps_needed
+        }
+
     for target in targets:
         app, kind = TARGETS[target]
-        if app not in series_cache:
-            print(
-                f"[{app}] running 5 configurations x {args.duration:.0f}s "
-                f"simulated ...",
-                file=sys.stderr,
-            )
-            series_cache[app] = run_series(app, workload=workload, seed=args.seed)
         series = series_cache[app]
         print()
         if kind == "table":

@@ -25,8 +25,10 @@ direction and rough magnitude of the effect:
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from ..apps import petstore
 from ..core.distribution import distribute
@@ -37,15 +39,20 @@ from ..simnet.rng import Streams
 from ..simnet.topology import build_testbed
 from . import calibration
 from .probes import PageProbe, measure_pages
+from .progress import ProgressReporter
 
-__all__ = [
+# Canonical order: results are always reported in this sequence, no
+# matter which worker finishes first.
+ABLATIONS: Tuple[str, ...] = (
     "ablate_stub_caching",
     "ablate_entity_lifecycle",
     "ablate_keep_alive",
     "ablate_refresh_mode",
     "ablate_edge_jdbc",
     "ablate_commit_batch",
-]
+)
+
+__all__ = list(ABLATIONS) + ["ABLATIONS", "run_all_ablations"]
 
 _EDGE_CLIENT = "client-edge1-0"
 _MAIN_CLIENT = "client-main-0"
@@ -210,3 +217,41 @@ def ablate_commit_batch(cart_sizes=(1, 2, 4, 8)) -> Dict[str, Dict[int, float]]:
             outcome = probe.run(env, script, repeats=2)
             results[label][size] = outcome.last("Commit Order")
     return results
+
+
+def _run_ablation(name: str) -> Tuple[str, Dict, float]:
+    """Worker entry point: run one ablation, return (name, outcome, wall)."""
+    started = time.perf_counter()
+    outcome = globals()[name]()
+    return name, outcome, time.perf_counter() - started
+
+
+def run_all_ablations(
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> Dict[str, Dict]:
+    """Run every ablation, optionally fanned out across worker processes.
+
+    Each ablation stands up its own seeded environments, so they are as
+    independent as the main sweep's cells.  Results come back keyed in
+    :data:`ABLATIONS` order regardless of completion order.
+    """
+    from .parallel import default_jobs
+
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    outcomes: Dict[str, Dict] = {}
+    if jobs == 1:
+        for name in ABLATIONS:
+            name, outcome, wall = _run_ablation(name)
+            outcomes[name] = outcome
+            if progress is not None:
+                progress.done(name, wall)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(ABLATIONS))) as pool:
+            futures = [pool.submit(_run_ablation, name) for name in ABLATIONS]
+            for future in as_completed(futures):
+                name, outcome, wall = future.result()
+                outcomes[name] = outcome
+                if progress is not None:
+                    progress.done(name, wall)
+    return {name: outcomes[name] for name in ABLATIONS}

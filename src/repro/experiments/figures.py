@@ -8,12 +8,17 @@ that group's sessions, across the five configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 from ..core.patterns import PatternLevel, level_name
+from .parallel import CellResult
 from .runner import APPS, ExperimentResult
 
 __all__ = ["FigureData", "build_figure", "render_figure"]
+
+# Accepts the serial runner's live results or the parallel runner's
+# reconstructed-from-state results interchangeably.
+SeriesResult = Union[ExperimentResult, CellResult]
 
 PAPER_FIGURES = {
     "petstore": (7, "Java Pet Store session average response times"),
@@ -37,7 +42,7 @@ class FigureData:
         return sorted({level for (_g, level) in self.series})
 
 
-def build_figure(results: Dict[PatternLevel, ExperimentResult]) -> FigureData:
+def build_figure(results: Dict[PatternLevel, SeriesResult]) -> FigureData:
     """Assemble Figure 7/8 data from a five-configuration series."""
     any_result = next(iter(results.values()))
     spec = APPS[any_result.app]

@@ -1,0 +1,195 @@
+"""Parallel experiment execution: a process-pool fan-out over cells.
+
+The paper's evaluation grid is a set of independent *cells* — one
+(application, :class:`PatternLevel`) pair each.  RAFDA-style separation
+of application logic from distribution policy means a cell shares no
+state with any other: every run builds its own seeded
+:class:`~repro.simnet.kernel.Environment`, database, testbed and client
+population from scratch.  That makes the sweep embarrassingly parallel,
+and this module exploits it:
+
+* each cell runs in its own worker process (``ProcessPoolExecutor``);
+* the worker ships back a picklable :class:`CellResult` — serialized
+  monitor state, a trace summary, and wall time — never live simulation
+  objects;
+* the parent merges results in canonical (app, level) order, so tables
+  and figures are **byte-identical for any worker count and any
+  completion order**.
+
+Determinism rests on two facts: every cell is seeded independently from
+the same master seed (so a cell's observations do not depend on which
+process ran it), and :meth:`ResponseTimeMonitor.to_state` emits cells in
+sorted order (so reconstruction does not depend on arrival order).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.patterns import PatternLevel
+from ..simnet.monitor import ResponseTimeMonitor, TraceSummary
+from ..workload.generator import WorkloadConfig
+from . import calibration
+from .progress import ProgressReporter
+
+__all__ = [
+    "CellTask",
+    "CellResult",
+    "default_jobs",
+    "run_cells",
+    "run_series_parallel",
+]
+
+
+def default_jobs() -> int:
+    """Worker-count default: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """Everything a worker needs to run one cell.  Strictly picklable:
+    the application itself is looked up by name inside the worker."""
+
+    app: str
+    level: int
+    workload: Optional[WorkloadConfig]
+    seed: int
+    with_trace: bool = False
+
+
+@dataclass
+class CellResult:
+    """Picklable outcome of one cell.
+
+    Carries serialized monitor state instead of live simulation objects,
+    plus enough derived data (request count, trace summary, wall time)
+    for the tables, figures and benchmark reports.  Presents the same
+    reporting surface as :class:`~repro.experiments.runner.ExperimentResult`
+    (``app`` / ``level`` / ``monitor`` / ``mean`` / ``session_mean`` /
+    ``groups``), so ``build_table`` and ``build_figure`` accept either.
+    """
+
+    app: str
+    level: PatternLevel
+    monitor_state: dict
+    wall_seconds: float
+    total_requests: int
+    trace_summary: Optional[TraceSummary] = None
+    _monitor: Optional[ResponseTimeMonitor] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_experiment(cls, result) -> "CellResult":
+        """Condense a live ``ExperimentResult`` into its picklable form."""
+        return cls(
+            app=result.app,
+            level=PatternLevel(result.level),
+            monitor_state=result.monitor.to_state(),
+            wall_seconds=result.wall_seconds,
+            total_requests=result.generator.total_requests(),
+            trace_summary=result.trace.summary() if result.trace else None,
+        )
+
+    @property
+    def monitor(self) -> ResponseTimeMonitor:
+        """The reconstructed response-time monitor (cached)."""
+        if self._monitor is None:
+            self._monitor = ResponseTimeMonitor.from_state(self.monitor_state)
+        return self._monitor
+
+    def mean(self, group: str, page: str) -> float:
+        return self.monitor.mean(group, page)
+
+    def session_mean(self, group: str) -> float:
+        return self.monitor.session_mean(group)
+
+    def groups(self) -> List[str]:
+        return self.monitor.groups()
+
+
+def _run_cell(task: CellTask) -> CellResult:
+    """Worker entry point: run one cell and serialize the outcome."""
+    from .runner import run_configuration
+
+    result = run_configuration(
+        task.app,
+        PatternLevel(task.level),
+        workload=task.workload,
+        seed=task.seed,
+        with_trace=task.with_trace,
+    )
+    return CellResult.from_experiment(result)
+
+
+def run_cells(
+    cells: Iterable[Tuple[str, PatternLevel]],
+    workload: Optional[WorkloadConfig] = None,
+    seed: int = calibration.MASTER_SEED,
+    with_trace: bool = False,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> Dict[Tuple[str, PatternLevel], CellResult]:
+    """Run every (app, level) cell, fanning out across ``jobs`` processes.
+
+    ``jobs=None`` uses one worker per CPU; ``jobs=1`` runs the cells in
+    the current process (no pool, no pickling overhead) but still
+    returns :class:`CellResult`, so downstream output is identical.
+    The returned dict is keyed in sorted (app, level) order regardless
+    of completion order.
+    """
+    keys = [(app, PatternLevel(level)) for app, level in cells]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate cells in {keys!r}")
+    tasks = {
+        key: CellTask(key[0], int(key[1]), workload, seed, with_trace)
+        for key in keys
+    }
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    results: Dict[Tuple[str, PatternLevel], CellResult] = {}
+    if jobs == 1 or len(tasks) <= 1:
+        for key, task in tasks.items():
+            results[key] = _run_cell(task)
+            if progress is not None:
+                progress.cell_done(key[0], key[1], results[key].wall_seconds)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = {pool.submit(_run_cell, task): key for key, task in tasks.items()}
+            for future in as_completed(futures):
+                key = futures[future]
+                results[key] = future.result()
+                if progress is not None:
+                    progress.cell_done(key[0], key[1], results[key].wall_seconds)
+    return {
+        key: results[key]
+        for key in sorted(results, key=lambda k: (k[0], int(k[1])))
+    }
+
+
+def run_series_parallel(
+    app: str,
+    levels=None,
+    workload: Optional[WorkloadConfig] = None,
+    seed: int = calibration.MASTER_SEED,
+    with_trace: bool = False,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> Dict[PatternLevel, CellResult]:
+    """Parallel counterpart of :func:`~repro.experiments.runner.run_series`.
+
+    Same grid, same seeds, same output — only the wall clock differs.
+    """
+    levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
+    results = run_cells(
+        [(app, level) for level in levels],
+        workload=workload,
+        seed=seed,
+        with_trace=with_trace,
+        jobs=jobs,
+        progress=progress,
+    )
+    return {level: results[(app, level)] for level in levels}

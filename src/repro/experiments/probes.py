@@ -9,7 +9,7 @@ reports warm-request latencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.distribution import DeployedSystem
 from ..middleware.web import WebRequest, http_get

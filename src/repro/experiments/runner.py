@@ -10,7 +10,7 @@ levels, which is exactly the data behind Tables 6/7 and Figures 7/8.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..apps import petstore, rubis
@@ -41,7 +41,7 @@ class AppSpec:
     browser_pages: tuple
     writer_pages: tuple
     # catalog -> {query_id: [param tuples]} used to pre-warm query caches.
-    warm_queries: Callable = None
+    warm_queries: Optional[Callable] = None
 
 
 APPS: Dict[str, AppSpec] = {
@@ -177,12 +177,41 @@ def run_series(
     workload: Optional[WorkloadConfig] = None,
     seed: int = calibration.MASTER_SEED,
     with_trace: bool = False,
-) -> Dict[PatternLevel, ExperimentResult]:
-    """All five configurations of one application (Tables 6/7)."""
-    levels = [PatternLevel(l) for l in (levels or list(PatternLevel))]
-    return {
-        level: run_configuration(
+    jobs: Optional[int] = None,
+    progress=None,
+) -> Dict[PatternLevel, "ExperimentResult"]:
+    """All five configurations of one application (Tables 6/7).
+
+    ``jobs`` selects the execution strategy: ``None`` or ``1`` runs the
+    cells serially in this process and returns full
+    :class:`ExperimentResult` objects (live system, generator, trace);
+    any other value fans the cells out across that many worker
+    processes via :mod:`repro.experiments.parallel` and returns
+    picklable :class:`~repro.experiments.parallel.CellResult` objects
+    instead.  Both forms feed ``build_table`` / ``build_figure`` and
+    produce byte-identical output for a given seed — cells are seeded
+    independently, so results do not depend on who ran them or in what
+    order they finished.
+    """
+    levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
+    if jobs is not None and jobs != 1:
+        from .parallel import run_series_parallel
+
+        return run_series_parallel(
+            app,
+            levels=levels,
+            workload=workload,
+            seed=seed,
+            with_trace=with_trace,
+            jobs=jobs,
+            progress=progress,
+        )
+    results: Dict[PatternLevel, ExperimentResult] = {}
+    for level in levels:
+        result = run_configuration(
             app, level, workload=workload, seed=seed, with_trace=with_trace
         )
-        for level in levels
-    }
+        results[level] = result
+        if progress is not None:
+            progress.cell_done(app, level, result.wall_seconds)
+    return results

@@ -16,7 +16,7 @@ Reproduces the EJB entity lifecycle whose costs drive §4.3:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List
 
 from ..simnet.kernel import Event
 from .context import InvocationContext, TransactionContext, UpdateEvent

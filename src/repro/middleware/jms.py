@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Tuple, TYPE_CHECKING
 
 from ..simnet.kernel import Environment, Event
 from .context import InvocationContext

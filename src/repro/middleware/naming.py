@@ -10,7 +10,7 @@ of the paper's remote-façade optimizations (§4.2).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 __all__ = ["JndiRegistry", "HomeCache", "NamingError"]
 

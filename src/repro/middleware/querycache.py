@@ -18,7 +18,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..simnet.kernel import Event
 from .context import InvocationContext
-from .descriptors import QueryCacheDescriptor, RefreshMode
+from .descriptors import QueryCacheDescriptor
 
 __all__ = ["QueryCacheManager", "QueryCacheStats"]
 

@@ -16,7 +16,7 @@ Cold misses always pull — a replica cannot invent state it never saw.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Set
+from typing import Any, Dict, Generator, Set
 
 from ..simnet.kernel import Event
 from .context import InvocationContext, UpdateEvent

@@ -13,10 +13,9 @@ is placement-oblivious.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Generator, TYPE_CHECKING
 
 from ..simnet.kernel import Event
-from ..simnet.transport import ConnectionPool
 from .context import InvocationContext
 from .descriptors import ComponentDescriptor
 from .marshalling import call_size, result_size

@@ -45,7 +45,7 @@ from .web import HttpSessionStore, Response, ServletContainer, WebRequest
 if TYPE_CHECKING:  # pragma: no cover
     from .updates import UpdatePropagator
 
-__all__ = ["AppServer"]
+__all__ = ["AppServer", "result_wire_size"]  # result_wire_size re-exported
 
 
 class AppServer:

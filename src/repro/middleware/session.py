@@ -8,7 +8,7 @@ and rolls it back on failure.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List
 
 from ..simnet.kernel import Event
 from .context import InvocationContext, TransactionContext

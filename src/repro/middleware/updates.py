@@ -20,7 +20,7 @@ and query caches are made in one bulk RMI call" (§4.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..simnet.kernel import Event
 from .context import InvocationContext, UpdateEvent

@@ -9,7 +9,6 @@ charge CPU on the serving node.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
 

@@ -9,7 +9,7 @@ server can charge realistic execution time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from .expressions import (
@@ -25,7 +25,6 @@ from .expressions import (
     Or,
     Parameter,
 )
-from .schema import TableSchema
 from .sql import Aggregate, Delete, Insert, Select, SelectItem, Statement, Update
 from .storage import Table
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple, Union
+from typing import Any, Generator, Optional, Tuple, Union
 
 from ..simnet.kernel import Environment, Event
 from ..simnet.network import Node

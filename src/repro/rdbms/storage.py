@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
-from .schema import SchemaError, TableSchema
+from .schema import TableSchema
 
 __all__ = ["Table", "StorageError"]
 

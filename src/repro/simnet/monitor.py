@@ -14,9 +14,15 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["CallRecord", "Trace", "ResponseTimeMonitor", "PageStats"]
+__all__ = [
+    "CallRecord",
+    "Trace",
+    "TraceSummary",
+    "ResponseTimeMonitor",
+    "PageStats",
+]
 
 
 @dataclass
@@ -82,6 +88,42 @@ class Trace:
         """Names of components that were invoked across the network."""
         return {r.target for r in self.records if r.kind == "rmi" and r.src_node != r.dst_node}
 
+    def summary(self) -> "TraceSummary":
+        """A compact, picklable digest of the call log.
+
+        Full traces can hold millions of records; the summary is what the
+        parallel experiment runner ships back from worker processes.
+        """
+        by_kind: Dict[str, int] = defaultdict(int)
+        wide_area_by_kind: Dict[str, int] = defaultdict(int)
+        for record in self.records:
+            by_kind[record.kind] += 1
+            if record.wide_area:
+                wide_area_by_kind[record.kind] += 1
+        return TraceSummary(
+            records=len(self.records),
+            dropped=self.dropped,
+            by_kind=dict(sorted(by_kind.items())),
+            wide_area_by_kind=dict(sorted(wide_area_by_kind.items())),
+            remote_targets=tuple(sorted(self.remote_targets())),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate view of a :class:`Trace`, safe to pickle between processes."""
+
+    records: int = 0
+    dropped: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    wide_area_by_kind: Dict[str, int] = field(default_factory=dict)
+    remote_targets: Tuple[str, ...] = ()
+
+    def wide_area_calls(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.wide_area_by_kind.get(kind, 0)
+        return sum(self.wide_area_by_kind.values())
+
 
 @dataclass
 class PageStats:
@@ -90,7 +132,7 @@ class PageStats:
     count: int = 0
     total: float = 0.0
     total_sq: float = 0.0
-    minimum: float = float("inf")
+    min_seen: float = float("inf")
     maximum: float = 0.0
     samples: List[float] = field(default_factory=list)
 
@@ -98,10 +140,15 @@ class PageStats:
         self.count += 1
         self.total += value
         self.total_sq += value * value
-        self.minimum = min(self.minimum, value)
+        self.min_seen = min(self.min_seen, value)
         self.maximum = max(self.maximum, value)
         if keep_sample:
             self.samples.append(value)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation; 0.0 for an empty cell (never ``inf``)."""
+        return self.min_seen if self.count else 0.0
 
     @property
     def mean(self) -> float:
@@ -119,12 +166,54 @@ class PageStats:
         return self.variance ** 0.5
 
     def percentile(self, q: float) -> float:
-        """q in [0, 1]; requires samples to have been kept."""
+        """q in [0, 1]; requires samples to have been kept.
+
+        Linearly interpolates between order statistics, so e.g. the median
+        of ``[10, 20]`` is 15 rather than a truncated 10.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
-        return ordered[index]
+        if len(ordered) == 1:
+            return ordered[0]
+        position = min(max(q, 0.0), 1.0) * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    def merge(self, other: "PageStats") -> None:
+        """Fold ``other``'s observations into this cell in place."""
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.maximum = max(self.maximum, other.maximum)
+        if other.samples:
+            self.samples.extend(other.samples)
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (``inf`` min of an empty cell maps to None)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "total_sq": self.total_sq,
+            "min_seen": None if self.min_seen == float("inf") else self.min_seen,
+            "maximum": self.maximum,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PageStats":
+        min_seen = data.get("min_seen")
+        return cls(
+            count=data["count"],
+            total=data["total"],
+            total_sq=data["total_sq"],
+            min_seen=float("inf") if min_seen is None else min_seen,
+            maximum=data["maximum"],
+            samples=list(data.get("samples") or ()),
+        )
 
 
 class ResponseTimeMonitor:
@@ -175,21 +264,56 @@ class ResponseTimeMonitor:
         return dict(result)
 
     def merged(self, other: "ResponseTimeMonitor") -> "ResponseTimeMonitor":
-        """A new monitor combining this one's observations with ``other``'s."""
-        merged = ResponseTimeMonitor(keep_samples=False, warmup=0.0)
+        """A new monitor combining this one's observations with ``other``'s.
+
+        Kept samples from either source survive the merge (so percentiles
+        keep working), and warm-up discard counters accumulate.  The
+        merged monitor keeps samples if either source did.
+        """
+        merged = ResponseTimeMonitor(
+            keep_samples=self.keep_samples or other.keep_samples,
+            warmup=max(self.warmup, other.warmup),
+        )
         for source in (self, other):
+            merged.discarded_warmup += source.discarded_warmup
             for (group, page), stats in source._stats.items():
-                target = merged._stats[(group, page)]
-                target.count += stats.count
-                target.total += stats.total
-                target.total_sq += stats.total_sq
-                target.minimum = min(target.minimum, stats.minimum)
-                target.maximum = max(target.maximum, stats.maximum)
+                merged._stats[(group, page)].merge(stats)
             for group, stats in source._session_stats.items():
-                target = merged._session_stats[group]
-                target.count += stats.count
-                target.total += stats.total
-                target.total_sq += stats.total_sq
-                target.minimum = min(target.minimum, stats.minimum)
-                target.maximum = max(target.maximum, stats.maximum)
+                merged._session_stats[group].merge(stats)
         return merged
+
+    # -- serialization -------------------------------------------------------
+    def to_state(self) -> dict:
+        """A picklable, JSON-safe snapshot of every cell.
+
+        Cells are emitted in sorted key order so the state (and anything
+        derived from it) is identical however the observations arrived —
+        the property the parallel experiment runner's determinism rests on.
+        """
+        return {
+            "keep_samples": self.keep_samples,
+            "warmup": self.warmup,
+            "discarded_warmup": self.discarded_warmup,
+            "stats": [
+                [group, page, stats.to_dict()]
+                for (group, page), stats in sorted(self._stats.items())
+            ],
+            "session_stats": [
+                [group, stats.to_dict()]
+                for group, stats in sorted(self._session_stats.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ResponseTimeMonitor":
+        """Rebuild a monitor from :meth:`to_state` output."""
+        monitor = cls(
+            keep_samples=state.get("keep_samples", False),
+            warmup=state.get("warmup", 0.0),
+        )
+        monitor.discarded_warmup = state.get("discarded_warmup", 0)
+        for group, page, stats in state.get("stats", ()):
+            monitor._stats[(group, page)] = PageStats.from_dict(stats)
+        for group, stats in state.get("session_stats", ()):
+            monitor._session_stats[group] = PageStats.from_dict(stats)
+        return monitor

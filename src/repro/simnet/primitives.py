@@ -11,7 +11,7 @@ they compose with ``yield`` / ``yield from`` in process code.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List, Optional, Tuple
+from typing import Any, Deque, Generator, List, Tuple
 
 from .kernel import Environment, Event, SimulationError
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from .kernel import Environment
-from .network import Network, Node
+from .network import Network
 
 __all__ = ["TestbedConfig", "Testbed", "build_testbed", "MBIT_PER_S"]
 

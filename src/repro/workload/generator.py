@@ -14,7 +14,7 @@ avoid lockstep arrivals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.distribution import DeployedSystem

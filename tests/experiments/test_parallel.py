@@ -1,0 +1,194 @@
+"""Tests for the parallel experiment execution layer.
+
+The load-bearing property: a sweep's tables and figures are
+byte-identical whether the cells ran serially in one process or fanned
+out across a worker pool — whatever the worker count and completion
+order.
+"""
+
+import io
+import pickle
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments import calibration
+from repro.experiments.figures import build_figure, figure_to_csv, render_figure
+from repro.experiments.parallel import (
+    CellResult,
+    CellTask,
+    default_jobs,
+    run_cells,
+    run_series_parallel,
+)
+from repro.experiments.progress import ProgressReporter
+from repro.experiments.runner import run_series
+from repro.experiments.tables import build_table, render_table, table_to_csv
+
+FAST = calibration.default_workload(duration_ms=20_000.0, warmup_ms=5_000.0)
+LEVELS = [PatternLevel.CENTRALIZED, PatternLevel.STATEFUL_CACHING]
+
+
+@pytest.fixture(scope="module")
+def serial_series():
+    return run_series("rubis", levels=LEVELS, workload=FAST, seed=21, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel_series():
+    return run_series("rubis", levels=LEVELS, workload=FAST, seed=21, jobs=2)
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial and parallel sweeps are indistinguishable downstream
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_series_returns_cell_results(parallel_series):
+    assert set(parallel_series) == set(LEVELS)
+    for level, result in parallel_series.items():
+        assert isinstance(result, CellResult)
+        assert result.app == "rubis"
+        assert result.level == level
+        assert result.wall_seconds > 0
+        assert result.total_requests > 0
+
+
+def test_serial_and_parallel_monitor_tables_identical(serial_series, parallel_series):
+    for level in LEVELS:
+        assert (
+            serial_series[level].monitor.table()
+            == parallel_series[level].monitor.table()
+        ), level
+
+
+def test_serial_and_parallel_rendered_output_identical(serial_series, parallel_series):
+    serial_table = build_table(serial_series)
+    parallel_table = build_table(parallel_series)
+    assert render_table(serial_table) == render_table(parallel_table)
+    assert table_to_csv(serial_table) == table_to_csv(parallel_table)
+    serial_figure = build_figure(serial_series)
+    parallel_figure = build_figure(parallel_series)
+    assert render_figure(serial_figure) == render_figure(parallel_figure)
+    assert figure_to_csv(serial_figure) == figure_to_csv(parallel_figure)
+
+
+def test_result_order_is_canonical_regardless_of_completion(parallel_series):
+    assert list(parallel_series) == LEVELS
+    results = run_cells(
+        [("rubis", LEVELS[1]), ("rubis", LEVELS[0])],
+        workload=FAST,
+        seed=21,
+        jobs=1,
+    )
+    assert list(results) == [("rubis", LEVELS[0]), ("rubis", LEVELS[1])]
+
+
+# ---------------------------------------------------------------------------
+# CellResult: picklable, reporting-compatible with ExperimentResult
+# ---------------------------------------------------------------------------
+
+
+def test_cell_result_pickle_roundtrip(parallel_series):
+    result = parallel_series[LEVELS[0]]
+    copy = pickle.loads(pickle.dumps(result))
+    assert copy.app == result.app
+    assert copy.level == result.level
+    assert copy.monitor.table() == result.monitor.table()
+    for group in result.groups():
+        assert copy.session_mean(group) == result.session_mean(group)
+
+
+def test_cell_result_matches_experiment_result_surface(
+    serial_series, parallel_series
+):
+    serial = serial_series[LEVELS[0]]
+    parallel = parallel_series[LEVELS[0]]
+    assert parallel.groups() == serial.monitor.groups()
+    for group in serial.monitor.groups():
+        assert parallel.session_mean(group) == serial.session_mean(group)
+        for page in serial.monitor.pages(group):
+            assert parallel.mean(group, page) == serial.mean(group, page)
+
+
+def test_cell_task_is_picklable():
+    task = CellTask("rubis", int(PatternLevel.CENTRALIZED), FAST, 21)
+    copy = pickle.loads(pickle.dumps(task))
+    assert copy == task
+
+
+def test_run_cells_rejects_duplicate_cells():
+    with pytest.raises(ValueError):
+        run_cells(
+            [("rubis", PatternLevel.CENTRALIZED), ("rubis", 1)],
+            workload=FAST,
+            jobs=1,
+        )
+
+
+def test_run_cells_spans_applications():
+    results = run_cells(
+        [("rubis", PatternLevel.CENTRALIZED), ("petstore", PatternLevel.CENTRALIZED)],
+        workload=FAST,
+        seed=21,
+        jobs=2,
+    )
+    assert list(results) == [
+        ("petstore", PatternLevel.CENTRALIZED),
+        ("rubis", PatternLevel.CENTRALIZED),
+    ]
+    for result in results.values():
+        assert result.total_requests > 0
+
+
+def test_with_trace_ships_summary_not_records():
+    results = run_cells(
+        [("rubis", PatternLevel.REMOTE_FACADE)],
+        workload=FAST,
+        seed=21,
+        with_trace=True,
+        jobs=1,
+    )
+    summary = results[("rubis", PatternLevel.REMOTE_FACADE)].trace_summary
+    assert summary is not None
+    assert summary.records > 0
+    assert sum(summary.by_kind.values()) == summary.records
+    # Edge-to-main RMI crosses the WAN at the façade level.
+    assert summary.wide_area_calls("rmi") > 0
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Progress reporting
+# ---------------------------------------------------------------------------
+
+
+def test_progress_reporter_counts_and_prints():
+    stream = io.StringIO()
+    progress = ProgressReporter(2, stream=stream, label="cells")
+    progress.cell_done("rubis", PatternLevel.CENTRALIZED, 1.25)
+    assert not progress.finished
+    progress.done("ablate_stub_caching", 0.5)
+    assert progress.finished
+    lines = stream.getvalue().strip().splitlines()
+    assert lines[0].startswith("[1/2 cells] rubis level 1 done in 1.2")
+    assert "[2/2 cells] ablate_stub_caching" in lines[1]
+
+
+def test_run_series_reports_progress_in_both_modes():
+    for jobs in (1, 2):
+        stream = io.StringIO()
+        progress = ProgressReporter(len(LEVELS), stream=stream)
+        run_series_parallel(
+            "rubis",
+            levels=LEVELS,
+            workload=FAST,
+            seed=21,
+            jobs=jobs,
+            progress=progress,
+        )
+        assert progress.completed == len(LEVELS)
+        assert stream.getvalue().count("done in") == len(LEVELS)

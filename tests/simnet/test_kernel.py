@@ -324,3 +324,50 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+def test_run_until_boundary_runs_same_time_chains(env):
+    """Work scheduled *at* ``until`` runs fully, including zero-delay
+    follow-ups at the same timestamp."""
+    log = []
+
+    def follow_up(env):
+        yield env.timeout(0.0)
+        log.append(("follow-up", env.now))
+
+    def proc(env):
+        yield env.timeout(30.0)
+        log.append(("boundary", env.now))
+        env.process(follow_up(env))
+        yield env.timeout(0.0)
+        log.append(("same-time", env.now))
+
+    env.process(proc(env))
+    final = env.run(until=30.0)
+    assert final == 30.0
+    assert ("boundary", 30.0) in log
+    assert ("same-time", 30.0) in log
+    assert ("follow-up", 30.0) in log
+
+
+def test_run_until_excludes_events_after_boundary(env):
+    log = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        log.append(env.now)
+
+    env.process(proc(env, 30.0))
+    env.process(proc(env, 30.0 + 1e-9))
+    env.run(until=30.0)
+    assert log == [30.0]
+    assert env.now == 30.0
+    env.run()
+    assert log == [30.0, 30.0 + 1e-9]
+
+
+def test_run_until_with_empty_heap_advances_clock(env):
+    assert env.run(until=75.0) == 75.0
+    assert env.now == 75.0
+    # Running to an earlier point never moves the clock backwards.
+    assert env.run(until=10.0) == 75.0
