@@ -16,7 +16,9 @@ turns them into timed HTTP requests.
 
 from __future__ import annotations
 
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..simnet.rng import Streams
@@ -91,11 +93,24 @@ class WeightedPattern(UsagePattern):
         self.first_page = first_page
         self.params_for = params_for or (lambda streams, page, prev: {})
         self.follows = dict(follows or {})
+        # Precomputed draw tables: ``random.choices`` re-accumulates the
+        # weights on every call, and sessions draw thousands of times.
+        # bisect over the same cumulative list consumes one random() per
+        # draw and picks the identical page.
+        self._stream_name = f"pattern:{self.name}"
+        self._pages = tuple(self.weights.keys())
+        self._cum_weights = list(accumulate(self.weights.values()))
+        self._total = self._cum_weights[-1] + 0.0
 
     def session(self, streams: Streams, session_index: int) -> List[PageVisit]:
-        stream_name = f"pattern:{self.name}"
-        pages = list(self.weights.keys())
-        weights = [self.weights[p] for p in pages]
+        pages = self._pages
+        cum_weights = self._cum_weights
+        total = self._total
+        hi = len(pages) - 1
+        rng_random = streams.get(self._stream_name).random
+        if total <= 0.0 and self.length > 1:
+            # Same failure random.choices would raise on the first draw.
+            raise ValueError("Total of weights must be greater than zero")
         visits: List[PageVisit] = []
         previous: Optional[PageVisit] = None
 
@@ -109,7 +124,7 @@ class WeightedPattern(UsagePattern):
 
         visit(self.first_page)
         while len(visits) < self.length:
-            page = streams.weighted_choice(stream_name, pages, weights)
+            page = pages[bisect(cum_weights, rng_random() * total, 0, hi)]
             required = self.follows.get(page)
             if required is not None and (previous is None or previous.page != required):
                 visit(required)

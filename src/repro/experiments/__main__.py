@@ -72,10 +72,25 @@ def main(argv=None) -> int:
         help="worker processes for the sweep (default: one per CPU; "
         "1 runs serially in-process; output is identical either way)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each cell under cProfile and dump the top-25 cumulative "
+        "entries plus per-subsystem attribution to stderr (forces --jobs 1)",
+    )
     args = parser.parse_args(argv)
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+    if args.profile and jobs != 1:
+        print(
+            "[profile] cProfile cannot follow worker processes; forcing --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
 
     if args.target == ABLATION_TARGET:
+        if args.profile:
+            print("[profile] --profile is not supported for ablations", file=sys.stderr)
+            return 2
         from . import ablations
 
         progress = ProgressReporter(len(ablations.ABLATIONS), label="ablations")
@@ -100,7 +115,13 @@ def main(argv=None) -> int:
     progress = ProgressReporter(len(cells), label="cells")
     if jobs == 1:
         series_cache = {
-            app: run_series(app, workload=workload, seed=args.seed, progress=progress)
+            app: run_series(
+                app,
+                workload=workload,
+                seed=args.seed,
+                progress=progress,
+                profile=args.profile,
+            )
             for app in apps_needed
         }
     else:

@@ -9,6 +9,7 @@ levels, which is exactly the data behind Tables 6/7 and Figures 7/8.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
@@ -179,6 +180,7 @@ def run_series(
     with_trace: bool = False,
     jobs: Optional[int] = None,
     progress=None,
+    profile: bool = False,
 ) -> Dict[PatternLevel, "ExperimentResult"]:
     """All five configurations of one application (Tables 6/7).
 
@@ -192,9 +194,16 @@ def run_series(
     produce byte-identical output for a given seed — cells are seeded
     independently, so results do not depend on who ran them or in what
     order they finished.
+
+    ``profile=True`` runs each cell under cProfile and dumps the top-25
+    cumulative entries plus a per-subsystem attribution to stderr (see
+    :mod:`repro.experiments.profile`).  Results are unchanged — the
+    profiler only costs wall-clock time.  Serial only.
     """
     levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
     if jobs is not None and jobs != 1:
+        if profile:
+            raise ValueError("profile=True requires jobs=1 (serial execution)")
         from .parallel import run_series_parallel
 
         return run_series_parallel(
@@ -208,9 +217,22 @@ def run_series(
         )
     results: Dict[PatternLevel, ExperimentResult] = {}
     for level in levels:
-        result = run_configuration(
-            app, level, workload=workload, seed=seed, with_trace=with_trace
-        )
+        if profile:
+            from .profile import dump_cell_profile, profile_call
+
+            result, stats = profile_call(
+                run_configuration,
+                app,
+                level,
+                workload=workload,
+                seed=seed,
+                with_trace=with_trace,
+            )
+            dump_cell_profile(f"{app} L{int(level)}", stats, sys.stderr)
+        else:
+            result = run_configuration(
+                app, level, workload=workload, seed=seed, with_trace=with_trace
+            )
         results[level] = result
         if progress is not None:
             progress.cell_done(app, level, result.wall_seconds)

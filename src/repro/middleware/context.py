@@ -210,8 +210,17 @@ class InvocationContext:
 
     # -- effects -----------------------------------------------------------
     def cpu(self, work_ms: float) -> Generator[Event, None, None]:
-        """Charge CPU time on the current server's node."""
-        yield from self.server.node.compute(work_ms)
+        """Charge CPU time on the current server's node.
+
+        Inlines :meth:`Node.compute` — every RMI/servlet invocation passes
+        through here, and the extra generator frame is measurable.
+        """
+        if work_ms == 0:
+            return
+        if work_ms < 0:
+            raise ValueError("work_ms must be non-negative")
+        node = self.server.node
+        yield from node.cpu.use(work_ms / node.cpu_speed)
 
     def lookup(self, component_name: str):
         """Resolve a component reference (see AppServer.lookup).

@@ -48,15 +48,19 @@ def run_business_method(instance: Any, method: str, ctx: Any, args: tuple):
         ) from None
     if method.startswith("_"):
         raise BeanError(f"{method!r} is not a public business method")
-
-    def runner():
-        result = function(ctx, *args)
-        if inspect.isgenerator(result):
-            result = yield from result
+    # Generator business methods (the common case) are returned as-is:
+    # wrapping them in another generator just to ``yield from`` would add
+    # one interpreter frame to every resume of every component call.
+    result = function(ctx, *args)
+    if inspect.isgenerator(result):
         return result
-        yield  # pragma: no cover - keeps runner a generator even if unreached
+    return _plain_result(result)
 
-    return runner()
+
+def _plain_result(result: Any):
+    """Lift a plain return value into the generator protocol."""
+    return result
+    yield  # pragma: no cover - keeps this a generator function
 
 
 class Bean:

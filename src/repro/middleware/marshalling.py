@@ -15,11 +15,39 @@ _PRIMITIVE_SIZE = 9  # a boxed primitive plus serialization tag
 
 
 def sizeof(value: Any, _depth: int = 0) -> int:
-    """Approximate Java-serialization size of ``value`` in bytes."""
+    """Approximate Java-serialization size of ``value`` in bytes.
+
+    The hot path is exact-type dispatch: the values that flow through
+    component interfaces are overwhelmingly plain strs/ints/floats and
+    the dicts/lists the result sets are made of.  Subclasses (IntEnum,
+    custom containers, objects) take the isinstance chain below.
+    """
     if _depth > 12:
         return 16
+    kind = type(value)
+    if kind is str:
+        return 7 + len(value)
+    if kind is int or kind is float:
+        return _PRIMITIVE_SIZE
     if value is None:
         return 1
+    if kind is bool:
+        return 2
+    if kind is dict:
+        total = 24
+        for key, item in value.items():
+            total += sizeof(key, _depth + 1) + sizeof(item, _depth + 1)
+        return total
+    if kind is list or kind is tuple:
+        total = 24
+        for item in value:
+            total += sizeof(item, _depth + 1)
+        return total
+    return _sizeof_slow(value, _depth)
+
+
+def _sizeof_slow(value: Any, _depth: int) -> int:
+    """Subclass and object fallback; mirrors the original isinstance order."""
     if isinstance(value, bool):
         return 2
     if isinstance(value, (int, float)):

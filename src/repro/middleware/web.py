@@ -146,6 +146,10 @@ class ServletContainer:
 _http_pools: Dict[int, ConnectionPool] = {}
 
 
+def _response_wire_size(response: "Response") -> int:
+    return response.wire_size()
+
+
 def http_get(
     env: Environment,
     server: "AppServer",
@@ -178,9 +182,11 @@ def http_get(
         trace=server.trace,
     )
 
+    # ``serve`` is a generator function, so it can be handed to the
+    # transport layer directly — wrapping it in another generator would
+    # add a frame to every resume of every request.
     def handler():
-        response = yield from server.serve(ctx, request)
-        return response
+        return server.serve(ctx, request)
 
     if costs.http_keep_alive:
         pool = _http_pools.get(id(network))
@@ -192,7 +198,7 @@ def http_get(
             server.node.name,
             costs.http_request_size,
             handler,
-            response_size_of=lambda r: r.wire_size(),
+            response_size_of=_response_wire_size,
         )
         return response
 
@@ -201,7 +207,7 @@ def http_get(
     response = yield from connection.request(
         costs.http_request_size,
         handler,
-        response_size_of=lambda r: r.wire_size(),
+        response_size_of=_response_wire_size,
     )
     connection.close()
     return response

@@ -1,0 +1,213 @@
+"""Expression compilation: AST -> Python closures.
+
+The tree-walking :meth:`~repro.rdbms.expressions.Expression.evaluate`
+re-interprets the WHERE/ON tree for every row, and parameter binding used
+to rebuild the whole AST per execution (``_substitute``).  This module
+compiles an expression once into a nest of closures with the signature
+``fn(row, params) -> value``: parameters are read from the ``params``
+tuple at call time (an environment, not a tree rewrite), and constant
+folding happens at compile time (LIKE needles are lowered once, literal
+IN lists become tuple-membership tests).
+
+Compiled closures reproduce the tree-walker *exactly*, including SQL
+three-valued logic collapsed to False, short-circuit evaluation order,
+and :class:`~repro.rdbms.expressions.EvaluationError` on missing or
+ambiguous columns (the executor's join pass relies on those errors to
+defer predicates until all join columns are visible).
+
+``compiled`` memoizes per expression object.  Every statement the
+applications execute flows through :func:`~repro.rdbms.sql.parse_cached`,
+so the expression objects are long-lived singletons and the cache is
+bounded by the statement vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from .expressions import (
+    _OPERATORS,
+    And,
+    ColumnRef,
+    Comparison,
+    EvaluationError,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Parameter,
+)
+
+__all__ = ["compile_expression", "compiled", "column_lookup", "EMPTY_ROW"]
+
+CompiledExpr = Callable[[Dict[str, Any], Tuple[Any, ...]], Any]
+
+EMPTY_ROW: Dict[str, Any] = {}
+
+_MISSING = object()
+
+
+def _compile_column(name: str) -> CompiledExpr:
+    if "." in name:
+        bare = name.split(".", 1)[1]
+
+        def lookup(row: Dict[str, Any], params: Tuple[Any, ...]) -> Any:
+            value = row.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            # Permit unqualified access to a qualified row key and vice versa.
+            value = row.get(bare, _MISSING)
+            if value is not _MISSING:
+                return value
+            raise EvaluationError(f"row has no column {name!r}")
+
+    else:
+        suffix = "." + name
+
+        def lookup(row: Dict[str, Any], params: Tuple[Any, ...]) -> Any:
+            value = row.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            matches = [key for key in row if key.endswith(suffix)]
+            if len(matches) == 1:
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise EvaluationError(f"ambiguous column {name!r}: {matches}")
+            raise EvaluationError(f"row has no column {name!r}")
+
+    return lookup
+
+
+# Column lookups depend only on the column name, so they are shared
+# across statements (projection lists build fresh ColumnRef nodes per
+# execution; compiling those through this memo makes that free).
+_COLUMN_CACHE: Dict[str, CompiledExpr] = {}
+
+
+def column_lookup(name: str) -> CompiledExpr:
+    """Memoized row-lookup closure for a (possibly qualified) column name."""
+    lookup = _COLUMN_CACHE.get(name)
+    if lookup is None:
+        lookup = _compile_column(name)
+        if len(_COLUMN_CACHE) < _CACHE_LIMIT:
+            _COLUMN_CACHE[name] = lookup
+    return lookup
+
+
+def compile_expression(expression: Expression) -> CompiledExpr:
+    """Compile ``expression`` into ``fn(row, params) -> value``."""
+    kind = type(expression)
+    if kind is Literal:
+        value = expression.value
+        return lambda row, params: value
+    if kind is Parameter:
+        index = expression.index
+        return lambda row, params: params[index]
+    if kind is ColumnRef:
+        return column_lookup(expression.name)
+    if kind is Comparison:
+        left = compile_expression(expression.left)
+        right = compile_expression(expression.right)
+        operator = _OPERATORS[expression.operator]
+
+        def compare(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
+            # Both sides evaluate before the NULL check, exactly like the
+            # tree-walker: a missing column on either side must raise.
+            left_value = left(row, params)
+            right_value = right(row, params)
+            if left_value is None or right_value is None:
+                return False  # SQL three-valued logic, collapsed to False
+            return operator(left_value, right_value)
+
+        return compare
+    if kind is And:
+        parts = tuple(compile_expression(part) for part in expression.parts)
+
+        def conjunction(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
+            for part in parts:
+                if not part(row, params):
+                    return False
+            return True
+
+        return conjunction
+    if kind is Or:
+        parts = tuple(compile_expression(part) for part in expression.parts)
+
+        def disjunction(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
+            for part in parts:
+                if part(row, params):
+                    return True
+            return False
+
+        return disjunction
+    if kind is Not:
+        part = compile_expression(expression.part)
+        return lambda row, params: not part(row, params)
+    if kind is Like:
+        column = compile_expression(expression.column)
+        if type(expression.pattern) is Literal and expression.pattern.value is not None:
+            needle = str(expression.pattern.value).strip("%").lower()
+
+            def like_constant(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
+                value = column(row, params)
+                if value is None:
+                    return False
+                return needle in str(value).lower()
+
+            return like_constant
+        pattern = compile_expression(expression.pattern)
+        # The pattern is constant across a scan (it comes from the params
+        # tuple), so memoize the lowered needle for the last pattern seen
+        # instead of re-stripping it for every candidate row.
+        last = [_MISSING, ""]
+
+        def like(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
+            value = column(row, params)
+            pattern_value = pattern(row, params)
+            if value is None or pattern_value is None:
+                return False
+            if pattern_value != last[0]:
+                last[0] = pattern_value
+                last[1] = str(pattern_value).strip("%").lower()
+            return last[1] in str(value).lower()
+
+        return like
+    if kind is InList:
+        column = compile_expression(expression.column)
+        if all(type(option) is Literal for option in expression.options):
+            values = tuple(option.value for option in expression.options)
+            # Tuple membership uses ==, matching the tree-walker's
+            # pairwise comparisons (including NULL == NULL -> True).
+            return lambda row, params: column(row, params) in values
+        options = tuple(compile_expression(option) for option in expression.options)
+
+        def in_list(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
+            value = column(row, params)
+            for option in options:
+                if value == option(row, params):
+                    return True
+            return False
+
+        return in_list
+    # Unknown node type: fall back to the tree-walker so programmatically
+    # built extensions keep working (parameters must be pre-bound there).
+    return lambda row, params: expression.evaluate(row)
+
+
+# Memo keyed by object identity.  Expressions are pinned in the value so a
+# cached id can never be reused by a different (dead) expression.
+_COMPILED_CACHE: Dict[int, Tuple[Expression, CompiledExpr]] = {}
+_CACHE_LIMIT = 4096
+
+
+def compiled(expression: Expression) -> CompiledExpr:
+    """Memoized :func:`compile_expression` (per expression object)."""
+    entry = _COMPILED_CACHE.get(id(expression))
+    if entry is not None:
+        return entry[1]
+    function = compile_expression(expression)
+    if len(_COMPILED_CACHE) < _CACHE_LIMIT:
+        _COMPILED_CACHE[id(expression)] = (expression, function)
+    return function

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .compiler import EMPTY_ROW, compiled
 from .executor import ExecutionError, Executor, ResultSet
+from .expressions import EvaluationError
 from .schema import TableSchema
 from .sql import Delete, Insert, Select, Statement, Update, parse_cached
 from .storage import Table
@@ -96,33 +98,21 @@ class Database:
             pk = table.schema.primary_key
             for column, expr in zip(statement.columns, statement.values):
                 if column == pk:
-                    from .executor import _substitute
-
-                    return [(statement.table, _substitute(expr, params).evaluate({}))]
+                    # Parameter indexes are statement-global, so the
+                    # compiled closure reads the full parameter tuple.
+                    return [(statement.table, compiled(expr)(EMPTY_ROW, params))]
             return [(statement.table, ("*",))]
         if isinstance(statement, (Update, Delete)):
-            # Dry-run the plan as a SELECT to find target keys.  Parameter
-            # indexes are statement-global, so bind WHERE against the full
-            # parameter tuple before probing.
-            from .executor import _substitute
-
+            # Dry-run the executor's plan to find target keys.  Any
+            # evaluation failure degrades to the whole-table sentinel,
+            # which locks conservatively.
             table = self.table(statement.table)
             pk = table.schema.primary_key
-            where = (
-                _substitute(statement.where, params)
-                if statement.where is not None
-                else None
-            )
-            probe = Select(items=(), table=_table_ref(statement.table), where=where)
             try:
-                result = self._executor.execute(probe, ())
-            except ExecutionError:
+                rows, _scanned, _index = self._executor._scan_with_plan(
+                    table, statement.where, params, copy_rows=False
+                )
+            except (ExecutionError, EvaluationError, IndexError):
                 return [(statement.table, ("*",))]
-            return [(statement.table, row[pk]) for row in result.rows]
+            return [(statement.table, row[pk]) for row in rows]
         return []
-
-
-def _table_ref(name: str):
-    from .sql import TableRef
-
-    return TableRef(name)

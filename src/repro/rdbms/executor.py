@@ -5,6 +5,14 @@ when the WHERE clause pins an indexed column with equality, otherwise a
 full scan; nested-loop joins with inner-index acceleration — but it
 reports its work (``rows_scanned``, ``used_index``) so the database
 server can charge realistic execution time.
+
+Execution is closure-compiled: WHERE/ON trees are lowered once per
+statement by :mod:`repro.rdbms.compiler` and parameters are bound
+through an environment (the ``params`` tuple) instead of rebuilding the
+AST per execution.  Row storage is copy-on-match: scans iterate the live
+storage dicts and only rows that survive the predicate are copied into
+the result, so a selective WHERE over a large table no longer pays one
+``dict()`` per rejected row.
 """
 
 from __future__ import annotations
@@ -12,20 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from .compiler import EMPTY_ROW, column_lookup, compiled
 from .expressions import (
     And,
-    ColumnRef,
     Comparison,
     EvaluationError,
     Expression,
-    InList,
-    Like,
-    Literal,
-    Not,
-    Or,
-    Parameter,
 )
-from .sql import Aggregate, Delete, Insert, Select, SelectItem, Statement, Update
+from .sql import Aggregate, Delete, Insert, Select, Statement, Update
 from .storage import Table
 
 __all__ = ["ResultSet", "ExecutionError", "Executor"]
@@ -66,32 +68,17 @@ class ResultSet:
         return [row[name] for row in self.rows]
 
 
-def _substitute(node: Expression, params: Tuple[Any, ...]) -> Expression:
-    """Replace ``Parameter`` nodes using statement-global indexes."""
-    if isinstance(node, Parameter):
-        try:
-            return Literal(params[node.index])
-        except IndexError:
-            raise ExecutionError(
-                f"statement references parameter ?{node.index} but only "
-                f"{len(params)} given"
-            ) from None
-    if isinstance(node, Comparison):
-        return Comparison(_substitute(node.left, params), node.operator, _substitute(node.right, params))
-    if isinstance(node, And):
-        return And(tuple(_substitute(p, params) for p in node.parts))
-    if isinstance(node, Or):
-        return Or(tuple(_substitute(p, params) for p in node.parts))
-    if isinstance(node, Not):
-        return Not(_substitute(node.part, params))
-    if isinstance(node, Like):
-        return Like(node.column, _substitute(node.pattern, params))
-    if isinstance(node, InList):
-        return InList(node.column, tuple(_substitute(o, params) for o in node.options))
-    return node
+# Parameter counts are a pure function of the statement tree; statements
+# flow through ``parse_cached`` and are long-lived singletons, so memoize
+# by identity (pinning the statement so ids cannot be reused).
+_PARAM_COUNT_CACHE: Dict[int, Tuple[Statement, int]] = {}
+_PARAM_COUNT_LIMIT = 4096
 
 
 def _count_parameters(statement: Statement) -> int:
+    entry = _PARAM_COUNT_CACHE.get(id(statement))
+    if entry is not None:
+        return entry[1]
     total = 0
     if isinstance(statement, Select):
         if statement.where is not None:
@@ -105,6 +92,8 @@ def _count_parameters(statement: Statement) -> int:
     elif isinstance(statement, Delete):
         if statement.where is not None:
             total += statement.where.parameters()
+    if len(_PARAM_COUNT_CACHE) < _PARAM_COUNT_LIMIT:
+        _PARAM_COUNT_CACHE[id(statement)] = (statement, total)
     return total
 
 
@@ -114,6 +103,58 @@ def _conjuncts(expression: Optional[Expression]) -> List[Expression]:
     if isinstance(expression, And):
         return list(expression.parts)
     return [expression]
+
+
+# Index selection is a pure function of (WHERE tree, table schema,
+# qualifier), all of which are long-lived, so the chosen access path is
+# memoized: value = (where, schema, indexed_column_or_None, value_fn).
+_SCAN_PLAN_CACHE: Dict[Tuple[int, int, Optional[str]], tuple] = {}
+
+# Qualified-row key pairs per (schema, binding): [("id", "i.id"), ...].
+_QUALIFIED_KEYS_CACHE: Dict[Tuple[int, str], tuple] = {}
+_PLAN_CACHE_LIMIT = 4096
+
+
+def _qualified_keys(schema, prefix: str) -> tuple:
+    cache_key = (id(schema), prefix)
+    entry = _QUALIFIED_KEYS_CACHE.get(cache_key)
+    if entry is not None:
+        return entry[1]
+    pairs = tuple((name, prefix + name) for name in schema.column_names())
+    if len(_QUALIFIED_KEYS_CACHE) < _PLAN_CACHE_LIMIT:
+        _QUALIFIED_KEYS_CACHE[cache_key] = (schema, pairs)
+    return pairs
+
+
+# Per-statement SELECT shape: aggregate/star flags, output columns, and
+# projection getters.  ``Select.is_aggregate`` walks the item list and the
+# projection rebuilt its getter list on every execution; both are fixed
+# once the statement is parsed.
+_SELECT_PLAN_CACHE: Dict[int, tuple] = {}
+
+
+def _select_plan(statement: Select) -> tuple:
+    entry = _SELECT_PLAN_CACHE.get(id(statement))
+    if entry is not None:
+        return entry[1]
+    is_aggregate = statement.is_aggregate
+    is_star = statement.is_star
+    columns = None if is_star else [item.output_name for item in statement.items]
+    getters = None
+    if not is_aggregate and not is_star:
+        getters = [
+            (item.output_name, column_lookup(item.column))
+            for item in statement.items
+        ]
+    order_lookup = (
+        column_lookup(statement.order_by.column)
+        if statement.order_by is not None
+        else None
+    )
+    plan = (is_aggregate, is_star, columns, getters, order_lookup)
+    if len(_SELECT_PLAN_CACHE) < _PLAN_CACHE_LIMIT:
+        _SELECT_PLAN_CACHE[id(statement)] = (statement, plan)
+    return plan
 
 
 class Executor:
@@ -160,63 +201,92 @@ class Executor:
         self,
         table: Table,
         where: Optional[Expression],
+        params: Tuple[Any, ...],
         qualify_as: Optional[str] = None,
+        copy_rows: bool = True,
     ) -> Tuple[List[Dict[str, Any]], int, Optional[str]]:
-        """Rows of ``table`` matching ``where``; returns (rows, scanned, index)."""
-        candidates: Optional[List[Dict[str, Any]]] = None
-        used_index = None
-        residual = where
-        for conjunct in _conjuncts(where):
-            if not isinstance(conjunct, Comparison):
-                continue
-            binding = conjunct.equality_binding()
-            if binding is None:
-                continue
-            column, value_expr = binding
-            bare = column.split(".", 1)[-1]
-            if qualify_as is not None and "." in column:
-                if column.split(".", 1)[0] != qualify_as:
+        """Rows of ``table`` matching ``where``; returns (rows, scanned, index).
+
+        ``copy_rows=False`` returns live storage dicts for matches (the
+        mutation paths only read the primary key from them); qualified
+        rows are always fresh dicts.
+        """
+        schema = table.schema
+        plan_key = (id(where), id(schema), qualify_as)
+        plan = _SCAN_PLAN_CACHE.get(plan_key)
+        if plan is None:
+            indexed_column = None
+            value_fn = None
+            index_name = None
+            for conjunct in _conjuncts(where):
+                if not isinstance(conjunct, Comparison):
                     continue
-            if table.has_index(bare):
-                value = value_expr.evaluate({})
-                candidates = table.index_lookup(bare, value)
-                used_index = f"{table.name}.{bare}"
-                break
-        if candidates is None:
-            candidates = list(table.scan())
-        scanned = len(candidates) if used_index is None else max(1, len(candidates))
-        if used_index is None:
+                binding = conjunct.equality_binding()
+                if binding is None:
+                    continue
+                column, value_expr = binding
+                bare = column.split(".", 1)[-1]
+                if qualify_as is not None and "." in column:
+                    if column.split(".", 1)[0] != qualify_as:
+                        continue
+                if table.has_index(bare):
+                    indexed_column = bare
+                    value_fn = compiled(value_expr)
+                    index_name = f"{table.name}.{bare}"
+                    break
+            plan = (where, schema, indexed_column, value_fn, index_name)
+            if len(_SCAN_PLAN_CACHE) < _PLAN_CACHE_LIMIT:
+                _SCAN_PLAN_CACHE[plan_key] = plan
+        indexed_column, value_fn, used_index = plan[2], plan[3], plan[4]
+        if indexed_column is not None:
+            value = value_fn(EMPTY_ROW, params)
+            candidates = table.index_lookup(indexed_column, value, copy=False)
+            scanned = max(1, len(candidates))
+        else:
+            candidates = table.scan(copy=False)
             scanned = len(table)
+        predicate = compiled(where) if where is not None else None
         rows: List[Dict[str, Any]] = []
+        append = rows.append
+        if qualify_as is None:
+            if predicate is None:
+                if copy_rows:
+                    for row in candidates:
+                        append(dict(row))
+                else:
+                    rows.extend(candidates)
+            elif copy_rows:
+                for row in candidates:
+                    if predicate(row, params):
+                        append(dict(row))
+            else:
+                for row in candidates:
+                    if predicate(row, params):
+                        append(row)
+            return rows, scanned, used_index
+        pairs = _qualified_keys(schema, qualify_as + ".")
         for row in candidates:
-            visible = (
-                {f"{qualify_as}.{k}": v for k, v in row.items()} if qualify_as else row
-            )
-            if residual is None:
-                rows.append(visible)
-                continue
-            try:
-                keep = residual.evaluate(visible)
-            except EvaluationError:
-                if qualify_as is None:
-                    raise
-                # Joined-table columns are not visible yet; defer filtering
-                # to the post-join pass.
-                keep = True
-            if keep:
-                rows.append(visible)
+            visible = {qualified: row[key] for key, qualified in pairs}
+            if predicate is not None:
+                try:
+                    if not predicate(visible, params):
+                        continue
+                except EvaluationError:
+                    # Joined-table columns are not visible yet; defer
+                    # filtering to the post-join pass.
+                    pass
+            append(visible)
         return rows, scanned, used_index
 
     def _execute_select(self, statement: Select, params: Tuple[Any, ...]) -> ResultSet:
-        where = (
-            _substitute(statement.where, params) if statement.where is not None else None
-        )
         base_table = self._table(statement.table.name)
 
         if statement.joins:
-            rows, scanned, used_index = self._execute_join(statement, base_table, where)
+            rows, scanned, used_index = self._execute_join(statement, base_table, params)
         else:
-            rows, scanned, used_index = self._scan_with_plan(base_table, where)
+            rows, scanned, used_index = self._scan_with_plan(
+                base_table, statement.where, params
+            )
 
         if statement.group_by is not None:
             result_rows = self._grouped(statement, rows)
@@ -233,13 +303,14 @@ class Executor:
                 columns, result_rows, rows_scanned=scanned, used_index=used_index
             )
 
+        is_aggregate, is_star, columns, getters, order_lookup = _select_plan(statement)
+
         # Sorting happens on the full rows *before* projection, so ORDER BY
         # may name columns absent from the select list.
-        if statement.order_by is not None and not statement.is_aggregate:
-            key_ref = ColumnRef(statement.order_by.column)
+        if order_lookup is not None and not is_aggregate:
 
             def sort_key(row: Dict[str, Any]):
-                value = key_ref.evaluate(row)
+                value = order_lookup(row, params)
                 # None sorts first; mixed types sort by repr as a last resort.
                 return (value is None, value if value is not None else 0)
 
@@ -247,30 +318,25 @@ class Executor:
                 rows.sort(key=sort_key, reverse=statement.order_by.descending)
             except TypeError:
                 rows.sort(
-                    key=lambda r: repr(key_ref.evaluate(r)),
+                    key=lambda r: repr(order_lookup(r, params)),
                     reverse=statement.order_by.descending,
                 )
 
-        if statement.limit is not None and not statement.is_aggregate:
+        if statement.limit is not None and not is_aggregate:
             rows = rows[: statement.limit]
 
         # Projection / aggregation.
-        if statement.is_aggregate:
+        if is_aggregate:
             output = self._aggregate(statement, rows)
-            columns = [item.output_name for item in statement.items]
             result_rows = [output]
-        elif statement.is_star:
+        elif is_star:
             columns = sorted(rows[0].keys()) if rows else self._star_columns(statement)
             result_rows = rows
         else:
-            columns = [item.output_name for item in statement.items]
-            result_rows = []
-            for row in rows:
-                projected = {}
-                for item in statement.items:
-                    assert isinstance(item, SelectItem)
-                    projected[item.output_name] = ColumnRef(item.column).evaluate(row)
-                result_rows.append(projected)
+            result_rows = [
+                {name: getter(row, params) for name, getter in getters}
+                for row in rows
+            ]
 
         return ResultSet(columns, result_rows, rows_scanned=scanned, used_index=used_index)
 
@@ -284,12 +350,13 @@ class Executor:
         return self._table(statement.table.name).schema.column_names()
 
     def _execute_join(
-        self, statement: Select, base_table: Table, where: Optional[Expression]
+        self, statement: Select, base_table: Table, params: Tuple[Any, ...]
     ) -> Tuple[List[Dict[str, Any]], int, Optional[str]]:
         """Left-deep nested-loop join with inner index acceleration."""
+        where = statement.where
         base_binding = statement.table.binding
         rows, scanned, used_index = self._scan_with_plan(
-            base_table, where, qualify_as=base_binding
+            base_table, where, params, qualify_as=base_binding
         )
         for join in statement.joins:
             inner_table = self._table(join.table.name)
@@ -305,30 +372,37 @@ class Executor:
                 inner_column, outer_column = left_bare, join.right_column
             else:
                 inner_column, outer_column = right_bare, join.left_column
-            outer_ref = ColumnRef(outer_column)
+            outer_lookup = column_lookup(outer_column)
             joined: List[Dict[str, Any]] = []
+            append = joined.append
             use_inner_index = inner_table.has_index(inner_column)
+            inner_size = len(inner_table)
+            inner_pairs = _qualified_keys(inner_table.schema, inner_binding + ".")
             for outer_row in rows:
-                outer_value = outer_ref.evaluate(outer_row)
+                outer_value = outer_lookup(outer_row, params)
                 if use_inner_index:
-                    matches = inner_table.index_lookup(inner_column, outer_value)
+                    matches = inner_table.index_lookup(
+                        inner_column, outer_value, copy=False
+                    )
                     scanned += max(1, len(matches))
                 else:
                     matches = [
-                        r for r in inner_table.scan() if r.get(inner_column) == outer_value
+                        r
+                        for r in inner_table.scan(copy=False)
+                        if r.get(inner_column) == outer_value
                     ]
-                    scanned += len(inner_table)
+                    scanned += inner_size
                 for inner_row in matches:
                     combined = dict(outer_row)
-                    combined.update(
-                        {f"{inner_binding}.{k}": v for k, v in inner_row.items()}
-                    )
-                    joined.append(combined)
+                    for key, qualified in inner_pairs:
+                        combined[qualified] = inner_row[key]
+                    append(combined)
             rows = joined
         # Re-apply WHERE now that all join columns are visible (cheap second
         # pass; the first pass already pruned what it could see).
         if where is not None:
-            rows = [row for row in rows if where.evaluate(row)]
+            predicate = compiled(where)
+            rows = [row for row in rows if predicate(row, params)]
         return rows, scanned, used_index
 
     def _grouped(
@@ -342,11 +416,11 @@ class Executor:
         """
         if not statement.items:
             raise ExecutionError("SELECT * with GROUP BY is not supported")
-        key_ref = ColumnRef(statement.group_by)
+        key_lookup = column_lookup(statement.group_by)
         groups: Dict[Any, List[Dict[str, Any]]] = {}
         order: List[Any] = []
         for row in rows:
-            key = key_ref.evaluate(row)
+            key = key_lookup(row, ())
             if key not in groups:
                 groups[key] = []
                 order.append(key)
@@ -364,8 +438,8 @@ class Executor:
                         )
                     )
                 else:
-                    out_row[item.output_name] = ColumnRef(item.column).evaluate(
-                        group_rows[0]
+                    out_row[item.output_name] = column_lookup(item.column)(
+                        group_rows[0], ()
                     )
             output.append(out_row)
         return output
@@ -383,9 +457,8 @@ class Executor:
             if item.function == "COUNT" and item.column is None:
                 output[item.output_name] = len(rows)
                 continue
-            ref = ColumnRef(item.column)
-            values = [ref.evaluate(row) for row in rows]
-            values = [v for v in values if v is not None]
+            lookup = column_lookup(item.column)
+            values = [value for value in (lookup(row, ()) for row in rows) if value is not None]
             if item.function == "COUNT":
                 output[item.output_name] = len(values)
             elif not values:
@@ -409,7 +482,7 @@ class Executor:
         table = self._table(statement.table)
         values = {}
         for column, expr in zip(statement.columns, statement.values):
-            values[column] = _substitute(expr, params).evaluate({})
+            values[column] = compiled(expr)(EMPTY_ROW, params)
         row = table.insert(values)
         if undo_log is not None:
             undo_log.append((statement.table, "insert", row[table.schema.primary_key]))
@@ -419,12 +492,11 @@ class Executor:
         self, statement: Update, params: Tuple[Any, ...], undo_log: Optional[list]
     ) -> ResultSet:
         table = self._table(statement.table)
-        where = (
-            _substitute(statement.where, params) if statement.where is not None else None
+        targets, scanned, used_index = self._scan_with_plan(
+            table, statement.where, params, copy_rows=False
         )
-        targets, scanned, used_index = self._scan_with_plan(table, where)
         changes = {
-            column: _substitute(expr, params).evaluate({})
+            column: compiled(expr)(EMPTY_ROW, params)
             for column, expr in statement.assignments
         }
         pk = table.schema.primary_key
@@ -440,15 +512,15 @@ class Executor:
         self, statement: Delete, params: Tuple[Any, ...], undo_log: Optional[list]
     ) -> ResultSet:
         table = self._table(statement.table)
-        where = (
-            _substitute(statement.where, params) if statement.where is not None else None
+        targets, scanned, used_index = self._scan_with_plan(
+            table, statement.where, params, copy_rows=False
         )
-        targets, scanned, used_index = self._scan_with_plan(table, where)
         pk = table.schema.primary_key
-        for row in targets:
-            before = table.delete(row[pk])
+        keys = [row[pk] for row in targets]
+        for key in keys:
+            before = table.delete(key)
             if undo_log is not None:
                 undo_log.append((statement.table, "delete", before))
         return ResultSet(
-            [], [], affected=len(targets), rows_scanned=scanned, used_index=used_index
+            [], [], affected=len(keys), rows_scanned=scanned, used_index=used_index
         )

@@ -44,27 +44,50 @@ class Table:
         row = self._rows.get(key)
         return dict(row) if row is not None else None
 
-    def scan(self) -> Iterator[Dict[str, Any]]:
-        """Iterate over copies of every row (heap order = insertion order)."""
-        for row in self._rows.values():
-            yield dict(row)
+    def scan(self, copy: bool = True) -> Iterator[Dict[str, Any]]:
+        """Iterate over every row (heap order = insertion order).
+
+        ``copy=False`` yields the live storage dicts — the executor's
+        copy-on-match path uses this so rows a predicate rejects are
+        never copied.  Live rows must only be mutated through the
+        undo-logged mutation API (:meth:`update` / :meth:`delete`).
+        """
+        if copy:
+            for row in self._rows.values():
+                yield dict(row)
+        else:
+            yield from self._rows.values()
 
     def keys(self) -> List[Any]:
         return list(self._rows.keys())
 
-    def index_lookup(self, column: str, value: Any) -> List[Dict[str, Any]]:
-        """Rows whose indexed ``column`` equals ``value`` (copies)."""
+    def index_lookup(
+        self, column: str, value: Any, copy: bool = True
+    ) -> List[Dict[str, Any]]:
+        """Rows whose indexed ``column`` equals ``value``.
+
+        Returns copies by default; ``copy=False`` returns the live
+        storage dicts (see :meth:`scan`).  Lookups never mutate the
+        index: probing a value with no entries must not insert one.
+        """
         if column == self.schema.primary_key:
-            row = self.get(value)
-            return [row] if row is not None else []
+            row = self._rows.get(value)
+            if row is None:
+                return []
+            return [dict(row)] if copy else [row]
         if column not in self._indexes:
             raise StorageError(f"no index on {self.name}.{column}")
-        keys = self._indexes[column][value]
+        keys = self._indexes[column].get(value)
+        if not keys:
+            return []
         try:
             ordered = sorted(keys)
         except TypeError:  # mixed key types: fall back to a stable order
             ordered = sorted(keys, key=repr)
-        return [dict(self._rows[key]) for key in ordered]
+        rows = self._rows
+        if copy:
+            return [dict(rows[key]) for key in ordered]
+        return [rows[key] for key in ordered]
 
     def has_index(self, column: str) -> bool:
         return column == self.schema.primary_key or column in self._indexes

@@ -16,6 +16,11 @@ Design notes
 * Event ordering is deterministic: events scheduled for the same timestamp
   fire in schedule order (a monotonically increasing sequence number breaks
   ties), which makes simulations reproducible byte-for-byte.
+* Scheduling is two-tier: items due *now* (triggered events, deferred
+  calls, zero-delay timeouts) go to a FIFO ready queue; only items with a
+  strictly positive delay pay for the heap.  The run loop merges the two
+  in global (time, sequence) order, so the observable execution order is
+  exactly that of a single unified priority queue.
 
 Example
 -------
@@ -34,7 +39,9 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from functools import partial
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -79,6 +86,10 @@ class Event:
     An event is *triggered* at most once, either with a value
     (:meth:`succeed`) or an exception (:meth:`fail`).  Processes waiting on
     the event are resumed by the kernel in FIFO order.
+
+    The callback list is lazy (``None`` until the first waiter) because
+    most events in a simulation have exactly zero or one waiter and the
+    empty-list allocation is pure overhead on the hot path.
     """
 
     __slots__ = (
@@ -93,7 +104,7 @@ class Event:
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self._callbacks: List[Callable[["Event"], None]] = []
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
@@ -126,8 +137,11 @@ class Event:
         if self._triggered:
             raise SimulationError("event already triggered")
         self._triggered = True
+        self._scheduled = True
         self._value = value
-        self.env._schedule_event(self)
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        env._ready.append((sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -137,8 +151,11 @@ class Event:
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
+        self._scheduled = True
         self._exception = exception
-        self.env._schedule_event(self)
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        env._ready.append((sequence, self))
         return self
 
     # -- waiting ---------------------------------------------------------
@@ -149,7 +166,9 @@ class Event:
         next scheduling opportunity (still in virtual time ``now``).
         """
         if self._dispatched:
-            self.env._schedule_call(lambda: callback(self))
+            self.env._schedule_call(partial(callback, self))
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -166,12 +185,23 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ plus scheduling: timeouts are the single
+        # most-allocated object in a simulation.
+        self.env = env
+        self._callbacks = None
         # The value is fixed now, but the event only *triggers* when the
         # kernel dispatches it at now+delay (AnyOf/AllOf rely on this).
         self._value = value
-        env._schedule_event(self, delay)
+        self._exception = None
+        self._triggered = False
+        self._scheduled = True
+        self._dispatched = False
+        self.delay = delay
+        env._sequence = sequence = env._sequence + 1
+        if delay == 0.0:
+            env._ready.append((sequence, self))
+        else:
+            heappush(env._heap, (env._now + delay, sequence, self))
 
 
 class Process(Event):
@@ -183,7 +213,7 @@ class Process(Event):
     should never pass silently).
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw", "_interrupts")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -195,6 +225,9 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        self._send = generator.send
+        self._throw = generator.throw
+        self._interrupts: Optional[List[Interrupt]] = None
         # Bootstrap: start the generator at the current simulation time.
         env._schedule_call(self._resume_initial)
 
@@ -213,18 +246,27 @@ class Process(Event):
         target = self._waiting_on
         if target is not None:
             # Stop listening to whatever we were waiting on.
-            try:
-                target._callbacks.remove(self._on_event)
-            except ValueError:
-                pass
+            callbacks = target._callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._on_event)
+                except ValueError:
+                    pass
             self._waiting_on = None
-        self.env._schedule_call(lambda: self._step(None, Interrupt(cause)))
+        if self._interrupts is None:
+            self._interrupts = []
+        self._interrupts.append(Interrupt(cause))
+        self.env._schedule_call(self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        self._step(None, self._interrupts.pop(0))
 
     # -- stepping machinery ----------------------------------------------
     def _on_event(self, event: Event) -> None:
         self._waiting_on = None
-        if event._exception is not None:
-            self._step(None, event._exception)
+        exception = event._exception
+        if exception is not None:
+            self._step(None, exception)
         else:
             self._step(event._value, None)
 
@@ -233,9 +275,9 @@ class Process(Event):
             return
         try:
             if exc is not None:
-                target = self.generator.throw(exc)
+                target = self._throw(exc)
             else:
-                target = self.generator.send(value)
+                target = self._send(value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
@@ -258,7 +300,13 @@ class Process(Event):
         if target.env is not self.env:
             raise SimulationError("cannot wait on an event from another Environment")
         self._waiting_on = target
-        target.add_callback(self._on_event)
+        # Inlined add_callback: this registration runs once per kernel step.
+        if target._dispatched:
+            self.env._schedule_call(partial(self._on_event, target))
+        elif target._callbacks is None:
+            target._callbacks = [self._on_event]
+        else:
+            target._callbacks.append(self._on_event)
 
 
 class _Condition(Event):
@@ -324,11 +372,21 @@ class AllOf(_Condition):
 
 
 class Environment:
-    """The simulation world: a clock plus the pending-event heap."""
+    """The simulation world: a clock, a ready queue, and a pending heap.
+
+    Items due at the current instant live in ``_ready`` (a FIFO deque of
+    ``(sequence, item)`` pairs); items due strictly later live in
+    ``_heap`` as ``(time, sequence, item)`` triples.  An *item* is either
+    an :class:`Event` to dispatch or a zero-argument callable.  Sequence
+    numbers are assigned globally, so merging the two queues in
+    ``(time, sequence)`` order reproduces exactly the behaviour of one
+    unified priority queue.
+    """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: List[tuple] = []
+        self._ready: deque = deque()
         self._sequence = 0
         self._active = True
 
@@ -363,55 +421,91 @@ class Environment:
         if event._scheduled:
             return
         event._scheduled = True
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, 0, event, None))
+        self._sequence = sequence = self._sequence + 1
+        if delay == 0.0:
+            self._ready.append((sequence, event))
+        else:
+            heappush(self._heap, (self._now + delay, sequence, event))
 
     def _schedule_call(self, func: Callable[[], None], delay: float = 0.0) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, 1, None, func))
+        self._sequence = sequence = self._sequence + 1
+        if delay == 0.0:
+            self._ready.append((sequence, func))
+        else:
+            heappush(self._heap, (self._now + delay, sequence, func))
 
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until both queues drain or the clock passes ``until``.
 
         Returns the final simulation time.  Events scheduled exactly at
         ``until`` still execute.
         """
         heap = self._heap
-        while heap:
-            time, _seq, _kind, event, func = heap[0]
-            if until is not None and time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(heap)
-            self._now = time
-            if func is not None:
-                func()
+        ready = self._ready
+        while True:
+            if ready:
+                # Heap entries landing exactly *now* with an older sequence
+                # number must run before younger ready entries.
+                if heap and heap[0][0] == self._now and heap[0][1] < ready[0][0]:
+                    item = heappop(heap)[2]
+                else:
+                    item = ready.popleft()[1]
+            elif heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    return until
+                item = heappop(heap)[2]
+                self._now = time
             else:
-                self._dispatch(event)
+                break
+            if isinstance(item, Event):
+                # Inlined dispatch: the single hottest loop in the repo.
+                item._triggered = True
+                item._dispatched = True
+                callbacks = item._callbacks
+                if callbacks is not None:
+                    item._callbacks = None
+                    for callback in callbacks:
+                        callback(item)
+            else:
+                item()
         if until is not None:
             self._now = max(self._now, until)
         return self._now
 
     def step(self) -> bool:
-        """Execute one scheduled item.  Returns False if the heap is empty."""
-        if not self._heap:
-            return False
-        time, _seq, _kind, event, func = heapq.heappop(self._heap)
-        self._now = time
-        if func is not None:
-            func()
+        """Execute one scheduled item.  Returns False if nothing is pending."""
+        heap = self._heap
+        ready = self._ready
+        if ready:
+            if heap and heap[0][0] == self._now and heap[0][1] < ready[0][0]:
+                item = heappop(heap)[2]
+            else:
+                item = ready.popleft()[1]
+        elif heap:
+            time, _sequence, item = heappop(heap)
+            self._now = time
         else:
-            self._dispatch(event)
+            return False
+        if isinstance(item, Event):
+            self._dispatch(item)
+        else:
+            item()
         return True
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled item, or None if nothing is pending."""
+        if self._ready:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
     def _dispatch(self, event: Event) -> None:
         event._triggered = True
         event._dispatched = True
-        callbacks, event._callbacks = event._callbacks, []
-        for callback in callbacks:
-            callback(event)
+        callbacks = event._callbacks
+        if callbacks is not None:
+            event._callbacks = None
+            for callback in callbacks:
+                callback(event)

@@ -108,6 +108,9 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self._adjacency: Dict[str, List[Tuple[str, Link]]] = {}
         self._routes: Dict[Tuple[str, str], List[Link]] = {}
+        # (src, dst) -> ordered per-hop element chains; saves re-deriving
+        # hop direction and chain lookups on every transfer.
+        self._hop_chains: Dict[Tuple[str, str], List[ElementChain]] = {}
         self.total_transfers = 0
 
     # -- construction ------------------------------------------------------
@@ -128,6 +131,7 @@ class Network:
         self._adjacency[a].append((b, link))
         self._adjacency[b].append((a, link))
         self._routes.clear()
+        self._hop_chains.clear()
         return link
 
     def node(self, name: str) -> Node:
@@ -191,14 +195,20 @@ class Network:
             raise ValueError("size must be non-negative")
         if src == dst:
             # Loopback: same-node IPC is effectively free at this scale.
-            return Packet(src, dst, size, kind, self.env.now, meta or {})
+            return Packet(src, dst, size, kind, self.env.now, meta)
         self.total_transfers += 1
-        packet = Packet(src, dst, size, kind, self.env.now, meta or {})
-        hop_src = src
-        for link in self.route(src, dst):
-            hop_dst = link.b.name if link.a.name == hop_src else link.a.name
-            yield from link.traverse(hop_src, hop_dst, packet)
-            hop_src = hop_dst
+        packet = Packet(src, dst, size, kind, self.env.now, meta)
+        chains = self._hop_chains.get((src, dst))
+        if chains is None:
+            chains = []
+            hop_src = src
+            for link in self.route(src, dst):
+                hop_dst = link.b.name if link.a.name == hop_src else link.a.name
+                chains.append(link.chain(hop_src, hop_dst))
+                hop_src = hop_dst
+            self._hop_chains[(src, dst)] = chains
+        for chain in chains:
+            yield from chain.traverse(packet)
         return packet
 
     # -- monitoring ---------------------------------------------------------

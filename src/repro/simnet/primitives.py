@@ -11,9 +11,9 @@ they compose with ``yield`` / ``yield from`` in process code.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List, Tuple
+from typing import Any, Deque, Generator, Tuple
 
-from .kernel import Environment, Event, SimulationError
+from .kernel import Environment, Event, SimulationError, Timeout
 
 __all__ = ["Resource", "Store", "Semaphore", "Latch", "resource_usage"]
 
@@ -88,7 +88,10 @@ class Resource:
         self._busy_time = 0.0
         self._last_change = env.now
         self._started = env.now
-        self._wait_samples: List[float] = []
+        # Running sum/count instead of a sample list: only the mean is
+        # ever reported, and the list grew with every completed request.
+        self._wait_total = 0.0
+        self._wait_count = 0
 
     # -- accounting --------------------------------------------------------
     def _account(self) -> None:
@@ -116,20 +119,35 @@ class Resource:
 
     def mean_wait(self) -> float:
         """Mean queueing delay experienced by completed requests (ms)."""
-        if not self._wait_samples:
+        if not self._wait_count:
             return 0.0
-        return sum(self._wait_samples) / len(self._wait_samples)
+        return self._wait_total / self._wait_count
 
     # -- protocol ------------------------------------------------------------
     def request(self) -> Event:
         """Event that fires once a unit has been granted to the caller."""
+        semaphore = self._semaphore
+        if semaphore._permits > 0 and not semaphore._waiters:
+            # Uncontended: the grant fires this instant, so do the busy
+            # bookkeeping now (same timestamp, zero wait) and skip the
+            # per-request callback closure.  Simulated time is identical;
+            # _account() at an unchanged `now` accumulates nothing.
+            semaphore._permits -= 1
+            self._account()
+            self._busy += 1
+            self._wait_count += 1
+            event = Event(self.env)
+            event.succeed()
+            return event
         start = self.env.now
-        event = self._semaphore.acquire()
+        event = self.env.event()
+        semaphore._waiters.append(event)
 
         def _granted(_event: Event) -> None:
             self._account()
             self._busy += 1
-            self._wait_samples.append(self.env.now - start)
+            self._wait_total += self.env.now - start
+            self._wait_count += 1
 
         event.add_callback(_granted)
         return event
@@ -144,9 +162,20 @@ class Resource:
 
     def use(self, duration: float) -> Generator[Event, Any, None]:
         """Acquire, hold for ``duration`` ms, release.  ``yield from`` this."""
-        yield self.request()
+        semaphore = self._semaphore
+        if semaphore._permits > 0 and not semaphore._waiters:
+            # Uncontended: grant the unit synchronously instead of round-
+            # tripping an already-succeeded request event through the
+            # ready queue (an allocation plus a full dispatch step for
+            # every CPU charge and quiet shaper port).
+            semaphore._permits -= 1
+            self._account()
+            self._busy += 1
+            self._wait_count += 1
+        else:
+            yield self.request()
         try:
-            yield self.env.timeout(duration)
+            yield Timeout(self.env, duration)
         finally:
             self.release()
 

@@ -15,11 +15,9 @@ the sum of the element behaviours it encounters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Generator, List, Optional
 
-from .kernel import Environment, Event
-from .primitives import Resource
+from .kernel import Environment, Event, Timeout
 from .rng import Streams
 
 __all__ = [
@@ -36,21 +34,38 @@ __all__ = [
 ]
 
 
-@dataclass
 class Packet:
     """A unit of network transfer.
 
     ``kind`` tags the protocol ("http", "rmi", "jdbc", "jms", "dgc") so
     classifiers and monitors can differentiate traffic, mirroring Click's
-    header-based classification.
+    header-based classification.  A ``__slots__`` class rather than a
+    dataclass: one is allocated per hop-level transfer on the hot path.
     """
 
-    src: str
-    dst: str
-    size: int
-    kind: str = "data"
-    created: float = 0.0
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("src", "dst", "size", "kind", "created", "meta")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        kind: str = "data",
+        created: float = 0.0,
+        meta: Optional[dict] = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.kind = kind
+        self.created = created
+        self.meta = meta if meta is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(src={self.src!r}, dst={self.dst!r}, size={self.size!r}, "
+            f"kind={self.kind!r}, created={self.created!r}, meta={self.meta!r})"
+        )
 
 
 class PacketLoss(Exception):
@@ -62,14 +77,24 @@ class PacketLoss(Exception):
 
 
 class Element:
-    """Base router element.  Subclasses override :meth:`traverse`."""
+    """Base router element.  Subclasses override :meth:`traverse`.
+
+    Elements that never suspend (counters, loss checks) set ``instant``
+    and implement :meth:`apply`; :class:`ElementChain` calls ``apply``
+    directly instead of driving an empty generator through the kernel.
+    """
 
     name = "element"
+    instant = False
 
     def traverse(self, packet: Packet) -> Generator[Event, Any, None]:
         """Pass ``packet`` through this element; yield kernel events."""
         raise NotImplementedError
         yield  # pragma: no cover - makes this a generator in subclasses' eyes
+
+    def apply(self, packet: Packet) -> None:
+        """Instant-element effect (only when ``instant`` is True)."""
+        raise NotImplementedError
 
 
 class FixedDelay(Element):
@@ -82,10 +107,14 @@ class FixedDelay(Element):
             raise ValueError("delay must be non-negative")
         self.env = env
         self.delay = delay
+        self.instant = delay == 0
+
+    def apply(self, packet: Packet) -> None:
+        pass  # zero-delay: nothing to do
 
     def traverse(self, packet: Packet):
         if self.delay > 0:
-            yield self.env.timeout(self.delay)
+            yield Timeout(self.env, self.delay)
 
 
 class BandwidthShaper(Element):
@@ -94,6 +123,13 @@ class BandwidthShaper(Element):
     ``bandwidth`` is in bytes per millisecond.  Transmission of a packet
     occupies the port for ``size / bandwidth`` ms; packets queue FIFO
     behind one another, which is how shared-bandwidth contention appears.
+
+    The port is modelled as a free-from timestamp rather than a held
+    resource: a packet arriving at ``t`` starts transmitting at
+    ``max(t, free_at)`` and pushes ``free_at`` forward by its
+    transmission time.  Departure times are exactly those of a FIFO
+    unit-capacity resource, but a reservation is pure arithmetic — no
+    grant/release events per packet.
     """
 
     name = "shaper"
@@ -103,16 +139,39 @@ class BandwidthShaper(Element):
             raise ValueError("bandwidth must be positive")
         self.env = env
         self.bandwidth = bandwidth
-        self._port = Resource(env, capacity=1, name="shaper-port")
+        self._free_at = 0.0
+        self._busy_time = 0.0
+        self._started = env.now
 
     def transmission_delay(self, size: int) -> float:
         return size / self.bandwidth
 
+    def occupy(self, size: int) -> float:
+        """Reserve the port FIFO; returns queueing wait + transmission time."""
+        now = self.env.now
+        tx = size / self.bandwidth
+        free_at = self._free_at
+        self._busy_time += tx
+        if free_at <= now:
+            self._free_at = now + tx
+            return tx
+        self._free_at = free_at + tx
+        return free_at - now + tx
+
     def traverse(self, packet: Packet):
-        yield from self._port.use(self.transmission_delay(packet.size))
+        delay = self.occupy(packet.size)
+        if delay > 0:
+            yield Timeout(self.env, delay)
 
     def utilization(self) -> float:
-        return self._port.utilization()
+        elapsed = self.env.now - self._started
+        if elapsed <= 0:
+            return 0.0
+        # Busy time accrues at reservation; subtract the part of the
+        # backlog that has not transmitted yet at query time.
+        pending = self._free_at - self.env.now
+        busy = self._busy_time - pending if pending > 0 else self._busy_time
+        return busy / elapsed
 
 
 class TokenBucketShaper(Element):
@@ -155,18 +214,22 @@ class Counter(Element):
     """Counts packets and bytes, optionally per protocol kind."""
 
     name = "counter"
+    instant = True
 
     def __init__(self):
         self.packets = 0
         self.bytes = 0
         self.by_kind: dict = {}
 
-    def traverse(self, packet: Packet):
+    def apply(self, packet: Packet) -> None:
         self.packets += 1
         self.bytes += packet.size
         stats = self.by_kind.setdefault(packet.kind, [0, 0])
         stats[0] += 1
         stats[1] += packet.size
+
+    def traverse(self, packet: Packet):
+        self.apply(packet)
         return
         yield  # pragma: no cover
 
@@ -198,6 +261,8 @@ class LossElement(Element):
 
     name = "loss"
 
+    instant = True
+
     def __init__(self, probability: float, streams: Streams, stream_name: str = "loss"):
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
@@ -206,12 +271,15 @@ class LossElement(Element):
         self.stream_name = stream_name
         self.dropped = 0
 
-    def traverse(self, packet: Packet):
+    def apply(self, packet: Packet) -> None:
         if self.probability > 0.0:
             draw = self.streams.get(self.stream_name).random()
             if draw < self.probability:
                 self.dropped += 1
                 raise PacketLoss(packet)
+
+    def traverse(self, packet: Packet):
+        self.apply(packet)
         return
         yield  # pragma: no cover
 
@@ -223,8 +291,31 @@ class ElementChain:
         self.elements = list(elements)
 
     def traverse(self, packet: Packet) -> Generator[Event, Any, None]:
-        for element in self.elements:
-            yield from element.traverse(packet)
+        # ``elements`` is re-read per traversal (tests splice elements in),
+        # and instant elements run inline instead of through an empty
+        # generator — the common chain only suspends for shaper + delay.
+        elements = self.elements
+        # Canonical WAN hop (counter -> shaper -> delay) fused: the shaper
+        # reserves its port by timestamp, so queueing wait, transmission
+        # and propagation collapse into a single sleep — one heap entry
+        # and one dispatch per hop instead of two or three.
+        if (
+            len(elements) == 3
+            and type(elements[1]) is BandwidthShaper
+            and type(elements[0]) is Counter
+            and type(elements[2]) is FixedDelay
+        ):
+            elements[0].apply(packet)
+            shaper = elements[1]
+            total = shaper.occupy(packet.size) + elements[2].delay
+            if total > 0:
+                yield Timeout(shaper.env, total)
+            return
+        for element in elements:
+            if element.instant:
+                element.apply(packet)
+            else:
+                yield from element.traverse(packet)
 
     def find(self, element_type: type) -> Optional[Element]:
         """First element of the given type, or None."""

@@ -126,6 +126,60 @@ def test_scan_iterates_copies(table):
     assert table.get(1)["name"] == "ann"
 
 
+def test_index_lookup_miss_never_grows_index(table):
+    """Regression: probing an absent value used to insert an empty set.
+
+    The secondary indexes were plain ``defaultdict(set)``, so every missed
+    lookup materialized an empty bucket and the index grew monotonically
+    with the *probe* workload instead of the data.
+    """
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    assert len(table._indexes["city"]) == 1
+    for probe in ["sf", "boston", None, 42, "nyc2"]:
+        assert table.index_lookup("city", probe) == []
+    assert len(table._indexes["city"]) == 1
+    assert list(table._indexes["city"]) == ["nyc"]
+    # Primary-key misses must not create rows either.
+    assert table.index_lookup("id", 99) == []
+    assert len(table) == 1
+
+
+def test_index_lookup_copy_false_returns_live_rows(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    live = table.index_lookup("city", "nyc", copy=False)[0]
+    assert live is table._rows[1]
+    copied = table.index_lookup("city", "nyc")[0]
+    assert copied is not live
+    copied["name"] = "mutated"
+    assert table.get(1)["name"] == "ann"
+    live_pk = table.index_lookup("id", 1, copy=False)[0]
+    assert live_pk is table._rows[1]
+
+
+def test_scan_copy_false_yields_live_rows(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    table.insert({"id": 2, "name": "bob", "city": "sf"})
+    live = list(table.scan(copy=False))
+    assert [row is table._rows[row["id"]] for row in live] == [True, True]
+    # Default scan still hands out independent copies.
+    for row in table.scan():
+        assert row is not table._rows[row["id"]]
+
+
+def test_index_lookup_mixed_key_types_stable_order(table):
+    schema = TableSchema(
+        "mixed",
+        [Column("id", TEXT), Column("city", TEXT)],
+        primary_key="id",
+        indexes=["city"],
+    )
+    mixed = Table(schema)
+    mixed.insert({"id": "a", "city": "nyc"})
+    mixed.insert({"id": "b", "city": "nyc"})
+    rows = mixed.index_lookup("city", "nyc")
+    assert [row["id"] for row in rows] == ["a", "b"]
+
+
 def test_truncate_and_bulk_load(table):
     count = table.bulk_load(
         {"id": i, "name": f"p{i}", "city": "nyc"} for i in range(5)
