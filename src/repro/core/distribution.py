@@ -18,6 +18,8 @@ from ..middleware.descriptors import ApplicationDescriptor, ComponentKind
 from ..middleware.jms import JmsProvider
 from ..middleware.server import AppServer
 from ..middleware.updates import UPDATE_TOPIC, UpdatePropagator
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
 from ..rdbms.engine import Database
 from ..rdbms.server import DatabaseServer, DbCostModel
 from ..simnet.kernel import Environment
@@ -43,6 +45,8 @@ class DeployedSystem:
     plan: DeploymentPlan
     automation: AutomationReport
     trace: Optional[Trace] = None
+    spans: Optional["SpanRecorder"] = None
+    metrics: Optional["MetricsRegistry"] = None
 
     @property
     def main(self) -> AppServer:
@@ -130,6 +134,8 @@ def distribute(
     costs: Optional[MiddlewareCosts] = None,
     db_cost_model: Optional[DbCostModel] = None,
     trace: Optional[Trace] = None,
+    spans: Optional[SpanRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DeployedSystem:
     """Deploy ``application`` across the testbed at the given pattern level."""
     level = PatternLevel(level)
@@ -160,6 +166,8 @@ def distribute(
             trace=trace,
             is_main=(server_name == plan.main),
             wide_area_of=testbed.is_wide_area,
+            spans=spans,
+            metrics=metrics,
         )
         server.attach_network(testbed.network)
         servers[server_name] = server
@@ -170,6 +178,7 @@ def distribute(
 
     # 5. Messaging provider lives on the main server.
     jms = JmsProvider(env, main)
+    jms.metrics = metrics
     for server in servers.values():
         server.jms = jms
 
@@ -224,4 +233,6 @@ def distribute(
         plan=plan,
         automation=automation,
         trace=trace,
+        spans=spans,
+        metrics=metrics,
     )

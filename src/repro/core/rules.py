@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.spans import SpanRecorder, build_trees, client_path_wan_calls
 from ..simnet.monitor import Trace
 from .distribution import DeployedSystem
 from .patterns import PatternLevel
@@ -82,12 +83,17 @@ class DesignRuleChecker:
         self.page_exceptions = dict(page_exceptions or {})
         self.min_replica_hit_rate = min_replica_hit_rate
 
-    def check(self, trace: Optional[Trace] = None) -> RuleReport:
+    def check(
+        self,
+        trace: Optional[Trace] = None,
+        spans: Optional[SpanRecorder] = None,
+    ) -> RuleReport:
         trace = trace if trace is not None else self.system.trace
+        spans = spans if spans is not None else self.system.spans
         report = RuleReport(level=self.system.level)
         self._check_r1(report, trace)
         if self.system.level >= PatternLevel.REMOTE_FACADE:
-            self._check_r2(report, trace)
+            self._check_r2(report, trace, spans)
             self._check_r3(report)
         if self.system.level >= PatternLevel.STATEFUL_CACHING:
             self._check_r4(report)
@@ -124,8 +130,20 @@ class DesignRuleChecker:
                 )
 
     # -- R2 -----------------------------------------------------------------
-    def _check_r2(self, report: RuleReport, trace: Optional[Trace]) -> None:
+    def _check_r2(
+        self,
+        report: RuleReport,
+        trace: Optional[Trace],
+        spans: Optional[SpanRecorder] = None,
+    ) -> None:
         report.checked_rules.append("R2")
+        # Prefer the span trees: causal structure lets the checker prune
+        # replica-maintenance subtrees ("propagate"/"jms"/"jms-delivery")
+        # instead of guessing by target name.  A recorder that dropped
+        # spans has incomplete trees, so fall back to the flat heuristic.
+        if spans is not None and spans.dropped == 0 and spans.spans:
+            self._check_r2_spans(report, spans)
+            return
         if trace is None:
             return
         wan_calls_by_request: Dict[int, int] = {}
@@ -162,6 +180,30 @@ class DesignRuleChecker:
                         page,
                         f"a request incurred {count} wide-area calls "
                         f"(budget {budget})",
+                    )
+                )
+
+    def _check_r2_spans(self, report: RuleReport, spans: SpanRecorder) -> None:
+        from ..middleware.updates import UPDATER_FACADE
+
+        exclude = frozenset({UPDATER_FACADE})
+        worst: Dict[str, int] = {}
+        for tree in build_trees(spans.spans):
+            if tree.root.kind != "http":
+                continue  # detached maintenance roots (bounded flushes, ...)
+            count = client_path_wan_calls(tree, exclude_targets=exclude)
+            page = tree.root.page or "?"
+            worst[page] = max(worst.get(page, 0), count)
+        report.metrics["max_wan_calls_seen"] = float(max(worst.values()) if worst else 0)
+        for page, count in sorted(worst.items()):
+            budget = self.page_exceptions.get(page, self.max_wan_calls_per_request)
+            if count > budget:
+                report.violations.append(
+                    RuleViolation(
+                        "R2",
+                        page,
+                        f"a request's span tree contains {count} wide-area "
+                        f"client-path calls (budget {budget})",
                     )
                 )
 

@@ -9,11 +9,17 @@ Usage::
     python -m repro.experiments all               # everything
     python -m repro.experiments table6 --duration 120 --warmup 30
     python -m repro.experiments all --jobs 4      # four worker processes
+    python -m repro.experiments table6 --trace-out trace.json \
+        --metrics-out metrics.json                # observability artifacts
 
 Every (application, configuration) cell is independent, so the sweep
 fans out across ``--jobs`` worker processes (default: one per CPU).
 Table/figure output on stdout is byte-identical for any ``--jobs``
-value; progress reporting goes to stderr.
+value; progress reporting goes to stderr.  ``--trace-out`` writes a
+Chrome trace-event JSON (load it in Perfetto or ``chrome://tracing``)
+with one span tree per client page request; ``--metrics-out`` writes
+per-cell metrics-registry snapshots.  Both artifacts are byte-identical
+for any ``--jobs`` value too.
 """
 
 from __future__ import annotations
@@ -36,6 +42,46 @@ TARGETS = {
     "figure8": ("rubis", "figure"),
 }
 ABLATION_TARGET = "ablations"
+
+
+def _export_observability(args, series_cache, apps_needed, levels) -> None:
+    """Write --trace-out / --metrics-out artifacts and stderr digests.
+
+    Works over both serial ``ExperimentResult`` and parallel
+    ``CellResult`` objects (both expose ``spans_state``/``metrics_state``
+    snapshots); cells are labelled ``app/L<level>`` in sorted order so
+    the files are byte-identical for any ``--jobs`` value.
+    """
+    from ..obs.export import export_chrome_trace, export_metrics
+
+    labelled = [
+        (f"{app}/L{int(level)}", series_cache[app][level])
+        for app in apps_needed
+        for level in levels
+    ]
+    if args.trace_out is not None:
+        cells = [
+            (label, result.spans_state)
+            for label, result in labelled
+            if result.spans_state is not None
+        ]
+        export_chrome_trace(cells, args.trace_out)
+        for label, result in labelled:
+            summary = getattr(result, "trace_summary", None)
+            if summary is None:
+                trace = getattr(result, "trace", None)
+                summary = trace.summary() if trace is not None else None
+            if summary is not None:
+                print(f"[trace] {label}: {summary.render()}", file=sys.stderr)
+        print(f"[trace] wrote {args.trace_out}", file=sys.stderr)
+    if args.metrics_out is not None:
+        cells = [
+            (label, result.metrics_state)
+            for label, result in labelled
+            if result.metrics_state is not None
+        ]
+        export_metrics(cells, args.metrics_out)
+        print(f"[metrics] wrote {args.metrics_out}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -78,18 +124,41 @@ def main(argv=None) -> int:
         help="run each cell under cProfile and dump the top-25 cumulative "
         "entries plus per-subsystem attribution to stderr (forces --jobs 1)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write per-request span trees as Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write per-cell metrics-registry snapshots as sorted-key JSON",
+    )
     args = parser.parse_args(argv)
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     if args.profile and jobs != 1:
-        print(
-            "[profile] cProfile cannot follow worker processes; forcing --jobs 1",
-            file=sys.stderr,
-        )
+        from .profile import warn_forced_serial
+
+        warn_forced_serial(jobs, sys.stderr)
         jobs = 1
+    with_spans = args.trace_out is not None
+    # Span recording implies flat-trace recording too, so the stderr
+    # digest can report call counts alongside the exported span trees.
+    with_trace = with_spans
+    with_metrics = args.metrics_out is not None
 
     if args.target == ABLATION_TARGET:
         if args.profile:
             print("[profile] --profile is not supported for ablations", file=sys.stderr)
+            return 2
+        if with_spans or with_metrics:
+            print(
+                "[obs] --trace-out/--metrics-out are not supported for ablations",
+                file=sys.stderr,
+            )
             return 2
         from . import ablations
 
@@ -119,6 +188,9 @@ def main(argv=None) -> int:
                 app,
                 workload=workload,
                 seed=args.seed,
+                with_trace=with_trace,
+                with_spans=with_spans,
+                with_metrics=with_metrics,
                 progress=progress,
                 profile=args.profile,
             )
@@ -128,12 +200,22 @@ def main(argv=None) -> int:
         # One shared pool over every app's cells: a ten-cell `all` sweep
         # keeps all workers busy instead of draining one app at a time.
         results = run_cells(
-            cells, workload=workload, seed=args.seed, jobs=jobs, progress=progress
+            cells,
+            workload=workload,
+            seed=args.seed,
+            with_trace=with_trace,
+            with_spans=with_spans,
+            with_metrics=with_metrics,
+            jobs=jobs,
+            progress=progress,
         )
         series_cache = {
             app: {level: results[(app, level)] for level in levels}
             for app in apps_needed
         }
+
+    if with_spans or with_metrics:
+        _export_observability(args, series_cache, apps_needed, levels)
 
     for target in targets:
         app, kind = TARGETS[target]

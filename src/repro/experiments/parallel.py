@@ -59,6 +59,8 @@ class CellTask:
     workload: Optional[WorkloadConfig]
     seed: int
     with_trace: bool = False
+    with_spans: bool = False
+    with_metrics: bool = False
 
 
 @dataclass
@@ -79,6 +81,12 @@ class CellResult:
     wall_seconds: float
     total_requests: int
     trace_summary: Optional[TraceSummary] = None
+    # Observability snapshots (plain dicts, canonical key order): the
+    # span table, the metrics registry, and the query-cache/replica
+    # counters that previously died with the worker process.
+    spans_state: Optional[dict] = None
+    metrics_state: Optional[dict] = None
+    cache_stats: Optional[dict] = None
     _monitor: Optional[ResponseTimeMonitor] = field(
         default=None, repr=False, compare=False
     )
@@ -93,6 +101,9 @@ class CellResult:
             wall_seconds=result.wall_seconds,
             total_requests=result.generator.total_requests(),
             trace_summary=result.trace.summary() if result.trace else None,
+            spans_state=result.spans_state,
+            metrics_state=result.metrics_state,
+            cache_stats=result.cache_stats,
         )
 
     @property
@@ -122,6 +133,8 @@ def _run_cell(task: CellTask) -> CellResult:
         workload=task.workload,
         seed=task.seed,
         with_trace=task.with_trace,
+        with_spans=task.with_spans,
+        with_metrics=task.with_metrics,
     )
     return CellResult.from_experiment(result)
 
@@ -131,6 +144,8 @@ def run_cells(
     workload: Optional[WorkloadConfig] = None,
     seed: int = calibration.MASTER_SEED,
     with_trace: bool = False,
+    with_spans: bool = False,
+    with_metrics: bool = False,
     jobs: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
 ) -> Dict[Tuple[str, PatternLevel], CellResult]:
@@ -146,7 +161,9 @@ def run_cells(
     if len(set(keys)) != len(keys):
         raise ValueError(f"duplicate cells in {keys!r}")
     tasks = {
-        key: CellTask(key[0], int(key[1]), workload, seed, with_trace)
+        key: CellTask(
+            key[0], int(key[1]), workload, seed, with_trace, with_spans, with_metrics
+        )
         for key in keys
     }
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -176,6 +193,8 @@ def run_series_parallel(
     workload: Optional[WorkloadConfig] = None,
     seed: int = calibration.MASTER_SEED,
     with_trace: bool = False,
+    with_spans: bool = False,
+    with_metrics: bool = False,
     jobs: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
 ) -> Dict[PatternLevel, CellResult]:
@@ -189,6 +208,8 @@ def run_series_parallel(
         workload=workload,
         seed=seed,
         with_trace=with_trace,
+        with_spans=with_spans,
+        with_metrics=with_metrics,
         jobs=jobs,
         progress=progress,
     )

@@ -35,9 +35,23 @@ __all__ = [
     "format_profile",
     "format_attribution",
     "dump_cell_profile",
+    "warn_forced_serial",
 ]
 
 _REPRO_MARKER = "/repro/"
+
+
+def warn_forced_serial(requested_jobs: Any, stream: TextIO) -> None:
+    """Explain on ``stream`` why profiling downgraded ``jobs`` to 1.
+
+    Shared by the CLI and :func:`~repro.experiments.runner.run_series` so
+    the message is identical wherever the downgrade happens.
+    """
+    print(
+        f"[profile] cProfile cannot follow worker processes; "
+        f"forcing jobs=1 (requested {requested_jobs})",
+        file=stream,
+    )
 
 
 def profile_call(func: Callable, *args: Any, **kwargs: Any) -> Tuple[Any, pstats.Stats]:

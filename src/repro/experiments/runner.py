@@ -17,6 +17,8 @@ from typing import Callable, Dict, List, Optional
 from ..apps import petstore, rubis
 from ..core.distribution import DeployedSystem, distribute
 from ..core.patterns import PatternLevel
+from ..obs.metrics import MetricsRegistry, collect_cache_stats, collect_system_metrics
+from ..obs.spans import SpanRecorder
 from ..simnet.kernel import Environment
 from ..simnet.monitor import ResponseTimeMonitor, Trace
 from ..simnet.topology import build_testbed
@@ -100,6 +102,11 @@ class ExperimentResult:
     generator: LoadGenerator
     wall_seconds: float
     trace: Optional[Trace] = None
+    spans: Optional[SpanRecorder] = None
+    metrics: Optional[MetricsRegistry] = None
+    # Query-cache and replica counters, collected before the system is
+    # dropped — previously this evidence died with the run.
+    cache_stats: Optional[dict] = None
 
     def mean(self, group: str, page: str) -> float:
         return self.monitor.mean(group, page)
@@ -110,6 +117,16 @@ class ExperimentResult:
     def groups(self) -> List[str]:
         return self.monitor.groups()
 
+    @property
+    def spans_state(self) -> Optional[dict]:
+        """Picklable span-table snapshot (None when tracing was off)."""
+        return self.spans.to_state() if self.spans is not None else None
+
+    @property
+    def metrics_state(self) -> Optional[dict]:
+        """Picklable metrics snapshot (None when metrics were off)."""
+        return self.metrics.to_state() if self.metrics is not None else None
+
 
 def run_configuration(
     app: str,
@@ -117,13 +134,17 @@ def run_configuration(
     workload: Optional[WorkloadConfig] = None,
     seed: int = calibration.MASTER_SEED,
     with_trace: bool = False,
+    with_spans: bool = False,
+    with_metrics: bool = False,
     costs_override=None,
     sizes: Optional[dict] = None,
     warm_replicas: bool = True,
 ) -> ExperimentResult:
     """Run one (application, pattern level) cell of the evaluation."""
+    from ..middleware.context import reset_ids
     from ..simnet.rng import Streams
 
+    reset_ids()
     spec = APPS[app]
     level = PatternLevel(level)
     workload = workload or calibration.default_workload()
@@ -133,6 +154,8 @@ def run_configuration(
     env = Environment()
     testbed = build_testbed(env, spec.testbed_config())
     trace = Trace(max_records=2_000_000) if with_trace else None
+    spans = SpanRecorder(max_spans=2_000_000) if with_spans else None
+    metrics = MetricsRegistry() if with_metrics else None
     application = spec.build_application(level, catalog=catalog)
     system = distribute(
         env,
@@ -143,6 +166,8 @@ def run_configuration(
         costs=costs_override or spec.costs,
         db_cost_model=spec.db_costs,
         trace=trace,
+        spans=spans,
+        metrics=metrics,
     )
     if warm_replicas:
         # Stand-in for the paper's measurement-excluded warm-up hour:
@@ -161,6 +186,8 @@ def run_configuration(
     started = time.perf_counter()
     monitor = generator.run(env)
     wall = time.perf_counter() - started
+    if metrics is not None:
+        collect_system_metrics(metrics, system, generator=generator)
     return ExperimentResult(
         app=app,
         level=level,
@@ -169,6 +196,9 @@ def run_configuration(
         generator=generator,
         wall_seconds=wall,
         trace=trace,
+        spans=spans,
+        metrics=metrics,
+        cache_stats=collect_cache_stats(system),
     )
 
 
@@ -178,6 +208,8 @@ def run_series(
     workload: Optional[WorkloadConfig] = None,
     seed: int = calibration.MASTER_SEED,
     with_trace: bool = False,
+    with_spans: bool = False,
+    with_metrics: bool = False,
     jobs: Optional[int] = None,
     progress=None,
     profile: bool = False,
@@ -198,23 +230,31 @@ def run_series(
     ``profile=True`` runs each cell under cProfile and dumps the top-25
     cumulative entries plus a per-subsystem attribution to stderr (see
     :mod:`repro.experiments.profile`).  Results are unchanged — the
-    profiler only costs wall-clock time.  Serial only.
+    profiler only costs wall-clock time.  Profiling is serial-only:
+    ``jobs != 1`` is downgraded to serial with a stderr warning (results
+    are identical either way; only the wall clock differs).
     """
     levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
     if jobs is not None and jobs != 1:
         if profile:
-            raise ValueError("profile=True requires jobs=1 (serial execution)")
-        from .parallel import run_series_parallel
+            from .profile import warn_forced_serial
 
-        return run_series_parallel(
-            app,
-            levels=levels,
-            workload=workload,
-            seed=seed,
-            with_trace=with_trace,
-            jobs=jobs,
-            progress=progress,
-        )
+            warn_forced_serial(jobs, sys.stderr)
+            jobs = 1
+        else:
+            from .parallel import run_series_parallel
+
+            return run_series_parallel(
+                app,
+                levels=levels,
+                workload=workload,
+                seed=seed,
+                with_trace=with_trace,
+                with_spans=with_spans,
+                with_metrics=with_metrics,
+                jobs=jobs,
+                progress=progress,
+            )
     results: Dict[PatternLevel, ExperimentResult] = {}
     for level in levels:
         if profile:
@@ -227,11 +267,19 @@ def run_series(
                 workload=workload,
                 seed=seed,
                 with_trace=with_trace,
+                with_spans=with_spans,
+                with_metrics=with_metrics,
             )
             dump_cell_profile(f"{app} L{int(level)}", stats, sys.stderr)
         else:
             result = run_configuration(
-                app, level, workload=workload, seed=seed, with_trace=with_trace
+                app,
+                level,
+                workload=workload,
+                seed=seed,
+                with_trace=with_trace,
+                with_spans=with_spans,
+                with_metrics=with_metrics,
             )
         results[level] = result
         if progress is not None:

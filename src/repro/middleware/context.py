@@ -20,6 +20,7 @@ from ..simnet.kernel import Environment, Event
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from .costs import MiddlewareCosts
     from .server import AppServer
+    from ..obs.spans import Span, SpanRecorder
     from ..simnet.monitor import Trace
 
 __all__ = [
@@ -37,6 +38,18 @@ class TransactionError(Exception):
 
 _request_ids = itertools.count(1)
 _transaction_ids = itertools.count(1)
+
+
+def reset_ids() -> None:
+    """Restart request/transaction numbering (called per experiment cell).
+
+    Ids are only meaningful within one run; restarting them per cell
+    makes exported span tables independent of how many cells the hosting
+    process ran before — the serial/parallel byte-identity contract.
+    """
+    global _request_ids, _transaction_ids
+    _request_ids = itertools.count(1)
+    _transaction_ids = itertools.count(1)
 
 
 @dataclass
@@ -169,6 +182,8 @@ class InvocationContext:
         trace: Optional["Trace"] = None,
         transaction: Optional[TransactionContext] = None,
         depth: int = 0,
+        spans: Optional["SpanRecorder"] = None,
+        span_id: Optional[int] = None,
     ):
         self.env = env
         self.server = server
@@ -177,6 +192,8 @@ class InvocationContext:
         self.trace = trace
         self.transaction = transaction
         self.depth = depth
+        self.spans = spans
+        self.span_id = span_id
 
     # -- derived contexts -----------------------------------------------------
     def at_server(self, server: "AppServer") -> "InvocationContext":
@@ -195,6 +212,8 @@ class InvocationContext:
             trace=self.trace,
             transaction=None,
             depth=self.depth + 1,
+            spans=self.spans,
+            span_id=self.span_id,
         )
 
     def in_transaction(self, transaction: TransactionContext) -> "InvocationContext":
@@ -206,6 +225,29 @@ class InvocationContext:
             trace=self.trace,
             transaction=transaction,
             depth=self.depth,
+            spans=self.spans,
+            span_id=self.span_id,
+        )
+
+    def in_span(self, span: Optional["Span"]) -> "InvocationContext":
+        """The context seen by work nested under ``span``.
+
+        Returns ``self`` unchanged when tracing is off (``span`` None),
+        so instrumented call sites stay allocation-free in the common
+        untraced path.
+        """
+        if span is None:
+            return self
+        return InvocationContext(
+            env=self.env,
+            server=self.server,
+            request=self.request,
+            costs=self.costs,
+            trace=self.trace,
+            transaction=self.transaction,
+            depth=self.depth,
+            spans=self.spans,
+            span_id=span.id,
         )
 
     # -- effects -----------------------------------------------------------
@@ -229,6 +271,43 @@ class InvocationContext:
         the EJBHomeFactory cache already holds the home stub.
         """
         return self.server.lookup(self, component_name)
+
+    def start_span(
+        self,
+        kind: str,
+        name: str,
+        node: Optional[str] = None,
+        wide_area: bool = False,
+        target: Optional[str] = None,
+        method: Optional[str] = None,
+        parent_id: Optional[int] = None,
+    ):
+        """Open a child span of the current one; None when tracing is off.
+
+        ``node`` defaults to the executing server's node; ``parent_id``
+        defaults to this context's span (pass one explicitly to attach
+        asynchronous work, e.g. a JMS delivery, to its publish span).
+        """
+        if self.spans is None:
+            return None
+        request = self.request
+        return self.spans.start_span(
+            kind=kind,
+            name=name,
+            node=node if node is not None else (self.server.node.name if self.server else "?"),
+            time=self.env.now,
+            parent_id=parent_id if parent_id is not None else self.span_id,
+            request_id=request.id if request else None,
+            wide_area=wide_area,
+            page=request.page if request else None,
+            group=request.client_group if request else None,
+            target=target,
+            method=method,
+        )
+
+    def finish_span(self, span) -> None:
+        if span is not None:
+            self.spans.finish_span(span, self.env.now)
 
     def record_call(
         self, kind: str, dst_node: str, target: str, method: str, duration: float = 0.0

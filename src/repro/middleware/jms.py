@@ -64,6 +64,7 @@ class JmsProvider:
         self.in_flight = 0
         self.delivery_latency_total = 0.0
         self.deliveries = 0
+        self.metrics = None  # MetricsRegistry, set by distribute()
 
     def topic(self, name: str) -> Topic:
         existing = self.topics.get(name)
@@ -82,19 +83,38 @@ class JmsProvider:
         """
         topic = self.topic(topic_name)
         message = Message(topic=topic_name, body=body, published_at=ctx.env.now)
-        yield from ctx.cpu(ctx.costs.jms_publish_cpu)
         publisher_node = ctx.server.node.name
         broker_node = self.host_server.node.name
-        if publisher_node != broker_node:
-            yield from ctx.server.network.transfer(
-                publisher_node, broker_node, message.wire_size(), kind="jms"
-            )
+        span = ctx.start_span(
+            "jms",
+            f"publish {topic_name}",
+            wide_area=ctx.server.is_wide_area(broker_node),
+            target=topic_name,
+            method="publish",
+        )
+        try:
+            yield from ctx.cpu(ctx.costs.jms_publish_cpu)
+            if publisher_node != broker_node:
+                yield from ctx.server.network.transfer(
+                    publisher_node, broker_node, message.wire_size(), kind="jms"
+                )
+        finally:
+            ctx.finish_span(span)
         topic.published += 1
         ctx.record_call("jms", broker_node, topic_name, "publish")
+        if self.metrics is not None:
+            self.metrics.histogram("jms.topic_depth").observe(self.in_flight)
         for subscriber_server, container in topic.subscribers:
             self.in_flight += 1
             self.env.process(
-                self._deliver(ctx, message, topic, subscriber_server, container),
+                self._deliver(
+                    ctx,
+                    message,
+                    topic,
+                    subscriber_server,
+                    container,
+                    parent_span_id=span.id if span is not None else None,
+                ),
                 name=f"jms-delivery-{message.id}-{subscriber_server.name}",
             )
         return message
@@ -106,22 +126,40 @@ class JmsProvider:
         topic: Topic,
         subscriber_server: Any,
         container: Any,
+        parent_span_id=None,
     ) -> Generator[Event, Any, None]:
         broker_node = self.host_server.node.name
         subscriber_node = subscriber_server.node.name
+        # Deliveries are asynchronous: the span attaches to the *publish*
+        # span explicitly so the causal tree survives the detached process.
+        span = ctx.start_span(
+            "jms-delivery",
+            f"deliver {topic.name}",
+            node=subscriber_node,
+            wide_area=self.host_server.is_wide_area(subscriber_node),
+            target=topic.name,
+            method="on_message",
+            parent_id=parent_span_id,
+        )
         try:
             if broker_node != subscriber_node:
                 yield from self.host_server.network.transfer(
                     broker_node, subscriber_node, message.wire_size(), kind="jms"
                 )
             delivery_ctx = ctx.at_server(subscriber_server)
+            if span is not None:
+                delivery_ctx.span_id = span.id  # fresh context; bind in place
             yield from delivery_ctx.cpu(delivery_ctx.costs.mdb_dispatch_cpu)
             yield from container.invoke(delivery_ctx, "on_message", (message,))
             topic.delivered += 1
             self.deliveries += 1
-            self.delivery_latency_total += self.env.now - message.published_at
+            lag = self.env.now - message.published_at
+            self.delivery_latency_total += lag
+            if self.metrics is not None:
+                self.metrics.histogram("jms.delivery_lag_ms").observe(lag)
         finally:
             self.in_flight -= 1
+            ctx.finish_span(span)
 
     def mean_delivery_latency(self) -> float:
         if not self.deliveries:

@@ -85,9 +85,20 @@ class LocalRef(ComponentRef):
     def call(
         self, ctx: InvocationContext, method: str, *args: Any, identity: Any = None
     ) -> Generator[Event, Any, Any]:
-        yield from ctx.cpu(ctx.costs.local_call)
-        result = yield from self.container.invoke(ctx, method, args, identity=identity)
-        return result
+        span = ctx.start_span(
+            "invoke",
+            f"{self.descriptor.name}.{method}",
+            target=self.descriptor.name,
+            method=method,
+        )
+        try:
+            yield from ctx.cpu(ctx.costs.local_call)
+            result = yield from self.container.invoke(
+                ctx.in_span(span), method, args, identity=identity
+            )
+            return result
+        finally:
+            ctx.finish_span(span)
 
 
 class RemoteRef(ComponentRef):
@@ -124,6 +135,13 @@ class RemoteRef(ComponentRef):
         src = self.source_server.node.name
         dst = self.target_server.node.name
         start = ctx.env.now
+        span = ctx.start_span(
+            "rmi",
+            f"{self.descriptor.name}.{method}",
+            wide_area=self.source_server.is_wide_area(dst),
+            target=self.descriptor.name,
+            method=method,
+        )
 
         if not self._stub_created:
             # First use of the remote stub: an extra round trip to create
@@ -136,36 +154,41 @@ class RemoteRef(ComponentRef):
         request_bytes = call_size(
             costs.rmi_marshal_base, costs.rmi_marshal_per_arg, method, marshal_args
         )
-        yield from ctx.cpu(costs.rmi_cpu)  # client-side marshalling
-
-        pool = self.source_server.rmi_pool(dst)
-        connection = yield from pool.checkout(src, dst)
         try:
-            yield from network.transfer(src, dst, request_bytes, kind="rmi")
-            callee_ctx = ctx.at_server(self.target_server)
-            yield from callee_ctx.cpu(costs.rmi_cpu)  # server-side unmarshalling
-            result = yield from self.container.invoke(
-                callee_ctx, method, args, identity=identity
-            )
-            response_bytes = result_size(costs.rmi_result_base, result)
-            yield from network.transfer(dst, src, response_bytes, kind="rmi")
-        finally:
-            pool.checkin(connection)
+            yield from ctx.cpu(costs.rmi_cpu)  # client-side marshalling
 
-        # Distributed garbage collection / ping traffic: the *latency*
-        # effect is an amortized fractional extra round trip per call; the
-        # *bytes* flow as detached ping/lease traffic sized to reproduce
-        # "more than half of the data traffic incurred by RMI is due to
-        # distributed garbage collection" (§4.3, citing [5]).
-        if costs.rmi_dgc_fraction > 0:
-            dgc_delay = costs.rmi_dgc_fraction * 2.0 * network.path_latency(src, dst)
-            if dgc_delay > 0:
-                yield ctx.env.timeout(dgc_delay)
-            dgc_bytes = request_bytes + response_bytes
-            ctx.env.process(
-                self._dgc_traffic(network, src, dst, dgc_bytes),
-                name=f"dgc-{self.descriptor.name}",
-            )
+            pool = self.source_server.rmi_pool(dst)
+            connection = yield from pool.checkout(src, dst)
+            try:
+                yield from network.transfer(src, dst, request_bytes, kind="rmi")
+                callee_ctx = ctx.at_server(self.target_server)
+                if span is not None:
+                    callee_ctx.span_id = span.id  # fresh context; bind in place
+                yield from callee_ctx.cpu(costs.rmi_cpu)  # server-side unmarshalling
+                result = yield from self.container.invoke(
+                    callee_ctx, method, args, identity=identity
+                )
+                response_bytes = result_size(costs.rmi_result_base, result)
+                yield from network.transfer(dst, src, response_bytes, kind="rmi")
+            finally:
+                pool.checkin(connection)
+
+            # Distributed garbage collection / ping traffic: the *latency*
+            # effect is an amortized fractional extra round trip per call; the
+            # *bytes* flow as detached ping/lease traffic sized to reproduce
+            # "more than half of the data traffic incurred by RMI is due to
+            # distributed garbage collection" (§4.3, citing [5]).
+            if costs.rmi_dgc_fraction > 0:
+                dgc_delay = costs.rmi_dgc_fraction * 2.0 * network.path_latency(src, dst)
+                if dgc_delay > 0:
+                    yield ctx.env.timeout(dgc_delay)
+                dgc_bytes = request_bytes + response_bytes
+                ctx.env.process(
+                    self._dgc_traffic(network, src, dst, dgc_bytes),
+                    name=f"dgc-{self.descriptor.name}",
+                )
+        finally:
+            ctx.finish_span(span)
 
         self.calls += 1
         ctx.record_call(

@@ -61,6 +61,8 @@ class AppServer:
         trace: Optional[Trace] = None,
         is_main: bool = False,
         wide_area_of=None,
+        spans=None,
+        metrics=None,
     ):
         self.env = env
         self.node = node
@@ -68,6 +70,8 @@ class AppServer:
         self.costs = costs
         self.db_server = db_server
         self.trace = trace
+        self.spans = spans  # SpanRecorder shared across the deployment
+        self.metrics = metrics  # MetricsRegistry for live instruments
         self.is_main = is_main
         self._wide_area_of = wide_area_of  # callable(node_a, node_b) -> bool
 
@@ -265,24 +269,35 @@ class AppServer:
         """
         source = self.datasource()
         start = ctx.env.now
-        transaction = ctx.transaction
-        if transaction is not None:
-            key = ("jdbc", id(source))
-            connection = transaction.resources.get(key)
-            if connection is None:
+        statement_label = sql.split(None, 3)[0].lower() + ":" + _table_of(sql)
+        span = ctx.start_span(
+            "jdbc",
+            statement_label,
+            wide_area=self.is_wide_area(self.db_server.node.name),
+            target=self.db_server.node.name,
+            method="execute",
+        )
+        try:
+            transaction = ctx.transaction
+            if transaction is not None:
+                key = ("jdbc", id(source))
+                connection = transaction.resources.get(key)
+                if connection is None:
+                    connection = yield from source.connect()
+                    connection.begin()
+                    transaction.resources[key] = connection
+                    transaction.enlist_connection(connection)
+                result = yield from connection.execute(sql, params)
+            else:
                 connection = yield from source.connect()
-                connection.begin()
-                transaction.resources[key] = connection
-                transaction.enlist_connection(connection)
-            result = yield from connection.execute(sql, params)
-        else:
-            connection = yield from source.connect()
-            result = yield from connection.execute(sql, params)
-            connection.close()
+                result = yield from connection.execute(sql, params)
+                connection.close()
+        finally:
+            ctx.finish_span(span)
         ctx.record_call(
             "jdbc",
             self.db_server.node.name,
-            sql.split(None, 3)[0].lower() + ":" + _table_of(sql),
+            statement_label,
             "execute",
             duration=ctx.env.now - start,
         )

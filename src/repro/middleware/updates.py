@@ -262,28 +262,36 @@ class UpdatePropagator:
     ) -> Generator[Event, Any, None]:
         if not self.targets:
             return
-        sync, asynchronous = yield from self.build_payloads(
-            ctx, events, explicit_invalidations
-        )
-        if not asynchronous.empty:
-            immediate, bound = self._split_by_staleness_bound(asynchronous)
-            if not immediate.empty:
-                yield from self.server.jms.publish(ctx, UPDATE_TOPIC, immediate)
-                self.async_publishes += 1
-            if bound is not None:
-                self._buffer_bounded(ctx, *bound)
-        if not sync.empty:
-            start = ctx.env.now
-            pushes = [
-                ctx.env.process(
-                    self._push_one(ctx, target, sync),
-                    name=f"sync-push-{target.name}",
-                )
-                for target in self.targets
-            ]
-            yield ctx.env.all_of(pushes)
-            self.sync_pushes += 1
-            self.blocking_time_total += ctx.env.now - start
+        # All propagation work — refresh queries, sync pushes, JMS
+        # publishes — nests under one "propagate" span, so the tree-based
+        # design-rule checker can exclude replica maintenance structurally.
+        span = ctx.start_span("propagate", "replica-updates")
+        ctx = ctx.in_span(span)
+        try:
+            sync, asynchronous = yield from self.build_payloads(
+                ctx, events, explicit_invalidations
+            )
+            if not asynchronous.empty:
+                immediate, bound = self._split_by_staleness_bound(asynchronous)
+                if not immediate.empty:
+                    yield from self.server.jms.publish(ctx, UPDATE_TOPIC, immediate)
+                    self.async_publishes += 1
+                if bound is not None:
+                    self._buffer_bounded(ctx, *bound)
+            if not sync.empty:
+                start = ctx.env.now
+                pushes = [
+                    ctx.env.process(
+                        self._push_one(ctx, target, sync),
+                        name=f"sync-push-{target.name}",
+                    )
+                    for target in self.targets
+                ]
+                yield ctx.env.all_of(pushes)
+                self.sync_pushes += 1
+                self.blocking_time_total += ctx.env.now - start
+        finally:
+            ctx.finish_span(span)
 
     def _push_one(
         self, ctx: InvocationContext, target: "AppServer", payload: UpdatePayload
@@ -356,7 +364,13 @@ class UpdatePropagator:
             request=None,
             costs=self.server.costs,
             trace=self.server.trace,
+            spans=self.server.spans,
         )
-        yield from self.server.jms.publish(flush_ctx, UPDATE_TOPIC, payload)
+        span = flush_ctx.start_span("propagate", "bounded-flush")
+        flush_ctx = flush_ctx.in_span(span)
+        try:
+            yield from self.server.jms.publish(flush_ctx, UPDATE_TOPIC, payload)
+        finally:
+            flush_ctx.finish_span(span)
         self.async_publishes += 1
         self.bounded_flushes += 1

@@ -180,7 +180,18 @@ def http_get(
         request=info,
         costs=costs,
         trace=server.trace,
+        spans=server.spans,
     )
+    # Root span of the request's causal tree: everything the page does —
+    # servlet work, RMI, JDBC, JMS — nests under it via ctx.span_id.
+    root_span = ctx.start_span(
+        "http",
+        "GET " + request.page,
+        node=request.client_node or server.node.name,
+        wide_area=server.is_wide_area(request.client_node),
+    )
+    if root_span is not None:
+        ctx.span_id = root_span.id  # ctx is fresh; safe to bind in place
 
     # ``serve`` is a generator function, so it can be handed to the
     # transport layer directly — wrapping it in another generator would
@@ -188,26 +199,31 @@ def http_get(
     def handler():
         return server.serve(ctx, request)
 
-    if costs.http_keep_alive:
-        pool = _http_pools.get(id(network))
-        if pool is None:
-            pool = ConnectionPool(network, kind="http")
-            _http_pools[id(network)] = pool
-        response = yield from pool.exchange(
-            request.client_node,
-            server.node.name,
+    try:
+        if costs.http_keep_alive:
+            pool = _http_pools.get(id(network))
+            if pool is None:
+                pool = ConnectionPool(network, kind="http")
+                _http_pools[id(network)] = pool
+            response = yield from pool.exchange(
+                request.client_node,
+                server.node.name,
+                costs.http_request_size,
+                handler,
+                response_size_of=_response_wire_size,
+            )
+            return response
+
+        connection = Connection(
+            network, request.client_node, server.node.name, kind="http"
+        )
+        yield from connection.open()
+        response = yield from connection.request(
             costs.http_request_size,
             handler,
             response_size_of=_response_wire_size,
         )
+        connection.close()
         return response
-
-    connection = Connection(network, request.client_node, server.node.name, kind="http")
-    yield from connection.open()
-    response = yield from connection.request(
-        costs.http_request_size,
-        handler,
-        response_size_of=_response_wire_size,
-    )
-    connection.close()
-    return response
+    finally:
+        ctx.finish_span(root_span)

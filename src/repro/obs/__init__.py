@@ -1,0 +1,34 @@
+"""Observability: span-based request tracing and a metrics registry.
+
+The paper's argument is an *attribution* argument — which design pattern
+makes which page pay how many wide-area round trips — so the simulator
+needs first-class causal instrumentation, not just a flat call log:
+
+* :mod:`repro.obs.spans` — every client page request opens a root span;
+  :class:`~repro.middleware.context.InvocationContext` threads parent
+  span ids through RMI stubs, JDBC calls, JMS publishes/MDB deliveries
+  and container invocations, so one request reconstructs as one tree.
+* :mod:`repro.obs.metrics` — a simulation-wide registry of counters,
+  gauges and histograms whose snapshots are picklable and mergeable in
+  canonical order (byte-identical output for any ``--jobs N``).
+* :mod:`repro.obs.export` — Chrome trace-event JSON (``--trace-out``,
+  loadable in Perfetto / ``chrome://tracing``) and sorted-key metrics
+  JSON (``--metrics-out``).
+* :mod:`repro.obs.validate` — ``python -m repro.obs.validate`` checks
+  exported artifacts parse and contain at least one complete span tree
+  (used by CI on the uploaded artifacts).
+"""
+
+from .metrics import MetricsRegistry, collect_cache_stats, collect_system_metrics, merge_cache_stats
+from .spans import Span, SpanRecorder, SpanTree, client_path_wan_calls
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "SpanTree",
+    "client_path_wan_calls",
+    "MetricsRegistry",
+    "collect_system_metrics",
+    "collect_cache_stats",
+    "merge_cache_stats",
+]

@@ -1,0 +1,327 @@
+"""A simulation-wide metrics registry with canonical, mergeable snapshots.
+
+Three instrument types — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` — registered by name in a :class:`MetricsRegistry`.
+The registry's :meth:`~MetricsRegistry.to_state` emits instruments in
+sorted name order, exactly like
+:meth:`~repro.simnet.monitor.ResponseTimeMonitor.to_state`, so anything
+derived from a snapshot is byte-identical however the observations were
+produced or shipped (``--jobs 1`` vs ``--jobs N``).
+
+Two acquisition styles coexist:
+
+* **live instruments** — components that must sample mid-run (JMS topic
+  depth and delivery lag, database execution time) hold the registry and
+  observe as events happen;
+* **end-of-run collection** — :func:`collect_system_metrics` walks a
+  finished :class:`~repro.core.distribution.DeployedSystem` and registers
+  every counter the containers already keep (query-cache hits, replica
+  hit/miss, propagator pushes, executor scan counts), which previously
+  died with the worker process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_system_metrics",
+    "collect_cache_stats",
+    "merge_cache_stats",
+]
+
+Number = Union[int, float]
+
+# Log-ish default bounds in milliseconds; the last bucket is open-ended.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0):
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (utilization, cache size, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0):
+        self.value = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (counts + sum, mergeable)."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        # counts[i] observes values <= bounds[i]; the final slot is +inf.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments, snapshot in canonical order."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def _check_free(self, name: str, owner: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not owner and name in family:
+                raise ValueError(f"metric {name!r} already registered with another type")
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def value(self, name: str) -> Number:
+        """Counter/gauge value or histogram observation count, by name."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._histograms:
+            return self._histograms[name].count
+        raise KeyError(name)
+
+    # -- serialization ------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot; instruments emitted in sorted name order."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in state.get("counters", {}).items():
+            registry._counters[name] = Counter(value)
+        for name, value in state.get("gauges", {}).items():
+            registry._gauges[name] = Gauge(value)
+        for name, data in state.get("histograms", {}).items():
+            histogram = Histogram(tuple(data["bounds"]))
+            histogram.counts = list(data["counts"])
+            histogram.total = data["sum"]
+            histogram.count = data["count"]
+            registry._histograms[name] = histogram
+        return registry
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another snapshot in: counters/histograms add, gauges max.
+
+        Gauges are point-in-time readings with no meaningful sum across
+        cells; max keeps "worst seen", which is what utilization-style
+        gauges are read for.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, data in state.get("histograms", {}).items():
+            histogram = self.histogram(name, tuple(data["bounds"]))
+            if histogram.bounds != tuple(data["bounds"]):
+                raise ValueError(f"histogram {name!r} bound mismatch in merge")
+            for i, count in enumerate(data["counts"]):
+                histogram.counts[i] += count
+            histogram.total += data["sum"]
+            histogram.count += data["count"]
+
+
+# ---------------------------------------------------------------------------
+# End-of-run collection from a deployed system
+# ---------------------------------------------------------------------------
+
+
+def collect_cache_stats(system) -> dict:
+    """Query-cache and read-only replica counters, in canonical nesting.
+
+    ``{"query_cache": {server: {query_id: {...}}}, "replicas": {server:
+    {component: {...}}}}`` — the per-container evidence behind the
+    paper's caching claims, previously discarded when a worker process
+    exited.  Keys are sorted so the dict is deterministic and directly
+    comparable across runs.
+    """
+    query_cache: Dict[str, dict] = {}
+    replicas: Dict[str, dict] = {}
+    for server_name in sorted(system.servers):
+        server = system.servers[server_name]
+        if server.query_cache is not None:
+            query_cache[server_name] = {
+                query_id: server.query_cache.stats[query_id].as_dict()
+                for query_id in sorted(server.query_cache.stats)
+            }
+        replica_stats = {}
+        for name in sorted(system.plan.replicas):
+            container = server.readonly_container(name)
+            if container is None:
+                continue
+            replica_stats[name] = {
+                "hits": container.hits,
+                "misses": container.misses,
+                "refreshes": container.refreshes,
+                "invalidations": container.invalidations,
+            }
+        if replica_stats:
+            replicas[server_name] = replica_stats
+    return {"query_cache": query_cache, "replicas": replicas}
+
+
+def merge_cache_stats(*stats: Optional[dict]) -> dict:
+    """Sum cache-stat dicts leaf-wise (missing branches are zeros)."""
+    merged: dict = {"query_cache": {}, "replicas": {}}
+    for item in stats:
+        if not item:
+            continue
+        for section in ("query_cache", "replicas"):
+            for server, per_key in item.get(section, {}).items():
+                into_server = merged[section].setdefault(server, {})
+                for key, counters in per_key.items():
+                    into = into_server.setdefault(key, {})
+                    for counter, value in counters.items():
+                        into[counter] = into.get(counter, 0) + value
+    return merged
+
+
+def collect_system_metrics(registry: MetricsRegistry, system, generator=None) -> MetricsRegistry:
+    """Register every per-container counter of a finished deployment.
+
+    Walks servers, database, JMS topics, the update propagator, caches
+    and replicas in sorted order; names are stable dotted paths so the
+    registry snapshot is canonical.
+    """
+    for server_name in sorted(system.servers):
+        server = system.servers[server_name]
+        prefix = f"app_server.{server_name}"
+        registry.counter(f"{prefix}.http_requests").inc(server.http_requests)
+        registry.counter(f"{prefix}.web_sessions_created").inc(server.web_sessions.created)
+        registry.gauge(f"{prefix}.cpu_utilization").set(server.node.cpu_utilization())
+
+    db_server = system.db_server
+    database = db_server.database
+    registry.counter("db.statements").inc(db_server.statements)
+    registry.counter("db.commits").inc(db_server.commits)
+    registry.counter("db.rollbacks").inc(db_server.rollbacks)
+    registry.counter("db.rows_scanned").inc(database.rows_scanned_total)
+    registry.counter("db.statements_executed").inc(database.statements_executed)
+    registry.gauge("db.cpu_utilization").set(db_server.node.cpu_utilization())
+    executor = database.executor
+    registry.counter("db.executor.index_scans").inc(executor.index_scans)
+    registry.counter("db.executor.full_scans").inc(executor.full_scans)
+
+    jms = system.main.jms
+    if jms is not None:
+        registry.counter("jms.deliveries").inc(jms.deliveries)
+        registry.gauge("jms.in_flight_at_end").set(jms.in_flight)
+        registry.gauge("jms.mean_delivery_latency_ms").set(jms.mean_delivery_latency())
+        for topic_name in sorted(jms.topics):
+            topic = jms.topics[topic_name]
+            registry.counter(f"jms.topic.{topic_name}.published").inc(topic.published)
+            registry.counter(f"jms.topic.{topic_name}.delivered").inc(topic.delivered)
+
+    propagator = system.main.update_propagator
+    if propagator is not None:
+        registry.counter("propagator.sync_pushes").inc(propagator.sync_pushes)
+        registry.counter("propagator.async_publishes").inc(propagator.async_publishes)
+        registry.counter("propagator.coalesced_events").inc(propagator.coalesced_events)
+        registry.counter("propagator.bounded_flushes").inc(propagator.bounded_flushes)
+        registry.gauge("propagator.blocking_time_ms").set(propagator.blocking_time_total)
+
+    cache_stats = collect_cache_stats(system)
+    for server_name, per_query in cache_stats["query_cache"].items():
+        for query_id, counters in per_query.items():
+            prefix = f"querycache.{server_name}.{query_id}"
+            for counter_name, value in counters.items():
+                registry.counter(f"{prefix}.{counter_name}").inc(value)
+    for server_name, per_component in cache_stats["replicas"].items():
+        for component, counters in per_component.items():
+            prefix = f"replica.{server_name}.{component}"
+            for counter_name, value in counters.items():
+                registry.counter(f"{prefix}.{counter_name}").inc(value)
+
+    if generator is not None:
+        registry.counter("workload.requests").inc(generator.total_requests())
+        registry.counter("workload.errors").inc(
+            sum(client.errors for client in generator.clients)
+        )
+        registry.counter("workload.failovers").inc(
+            sum(client.failovers for client in generator.clients)
+        )
+    return registry

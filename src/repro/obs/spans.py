@@ -1,0 +1,295 @@
+"""Span trees: causal tracing of one page request across every tier.
+
+A :class:`Span` is one timed operation (an HTTP request, an RMI call, a
+JDBC statement, a JMS publish or delivery, a container invocation) with
+a parent pointer.  The spans of one client page request form a tree
+rooted at the HTTP span, which is what the design-rule checker walks to
+verify the paper's "at most one wide-area call per page" — the flat
+:class:`~repro.simnet.monitor.Trace` is a projection of these trees.
+
+Span ids are assigned from a per-recorder counter in simulation-event
+order, so a seeded run produces identical span tables in any process —
+the property the parallel experiment runner's byte-identical
+``--trace-out`` output rests on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "SpanTree",
+    "build_trees",
+    "client_path_wan_calls",
+    "spans_to_call_records",
+]
+
+# Span kinds whose subtrees are *not* client-path work: replica
+# maintenance rides on the committing request but is not a call the
+# client waits on a WAN round trip for (asynchronous deliveries never
+# block it at all).
+MAINTENANCE_KINDS = frozenset({"propagate", "jms", "jms-delivery"})
+
+
+@dataclass
+class Span:
+    """One timed operation in the causal tree of a request."""
+
+    id: int
+    parent_id: Optional[int]
+    request_id: Optional[int]
+    kind: str  # "http" | "invoke" | "rmi" | "jdbc" | "jms" | "jms-delivery" | "propagate"
+    name: str
+    node: str
+    start: float
+    end: Optional[float] = None  # None while the operation is in flight
+    wide_area: bool = False
+    page: Optional[str] = None
+    group: Optional[str] = None
+    target: Optional[str] = None
+    method: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot; omits unset optionals to keep exports lean."""
+        data = {
+            "id": self.id,
+            "parent_id": self.parent_id,
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "wide_area": self.wide_area,
+        }
+        for key in ("page", "group", "target", "method"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            id=data["id"],
+            parent_id=data.get("parent_id"),
+            request_id=data.get("request_id"),
+            kind=data["kind"],
+            name=data["name"],
+            node=data["node"],
+            start=data["start"],
+            end=data.get("end"),
+            wide_area=data.get("wide_area", False),
+            page=data.get("page"),
+            group=data.get("group"),
+            target=data.get("target"),
+            method=data.get("method"),
+        )
+
+
+class SpanRecorder:
+    """Append-only span table shared by every server of one deployment.
+
+    Mirrors :class:`~repro.simnet.monitor.Trace`: cheap to consult when
+    disabled, bounded by ``max_spans`` with an explicit ``dropped``
+    counter so truncation is never silent.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: Optional[int] = None):
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def start_span(
+        self,
+        kind: str,
+        name: str,
+        node: str,
+        time: float,
+        parent_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+        wide_area: bool = False,
+        page: Optional[str] = None,
+        group: Optional[str] = None,
+        target: Optional[str] = None,
+        method: Optional[str] = None,
+    ) -> Optional[Span]:
+        """Open a span; returns None when disabled or over ``max_spans``.
+
+        Dropped spans still consume an id so the surviving table keeps
+        its deterministic numbering.
+        """
+        if not self.enabled:
+            return None
+        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            next(self._ids)
+            return None
+        span = Span(
+            id=next(self._ids),
+            parent_id=parent_id,
+            request_id=request_id,
+            kind=kind,
+            name=name,
+            node=node,
+            start=time,
+            wide_area=wide_area,
+            page=page,
+            group=group,
+            target=target,
+            method=method,
+        )
+        self.spans.append(span)
+        return span
+
+    def finish_span(self, span: Optional[Span], time: float) -> None:
+        if span is not None:
+            span.end = time
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    # -- queries -------------------------------------------------------------
+    def by_kind(self, kind: str) -> List[Span]:
+        return [span for span in self.spans if span.kind == kind]
+
+    def roots(self) -> List[Span]:
+        known = {span.id for span in self.spans}
+        return [
+            span
+            for span in self.spans
+            if span.parent_id is None or span.parent_id not in known
+        ]
+
+    def unfinished(self) -> List[Span]:
+        return [span for span in self.spans if not span.finished]
+
+    def trees(self) -> List["SpanTree"]:
+        return build_trees(self.spans)
+
+    # -- serialization -------------------------------------------------------
+    def to_state(self) -> dict:
+        """Picklable, JSON-safe snapshot in span-id order."""
+        return {
+            "dropped": self.dropped,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SpanRecorder":
+        recorder = cls()
+        recorder.dropped = state.get("dropped", 0)
+        recorder.spans = [Span.from_dict(item) for item in state.get("spans", ())]
+        if recorder.spans:
+            recorder._ids = itertools.count(
+                max(span.id for span in recorder.spans) + 1
+            )
+        return recorder
+
+
+class SpanTree:
+    """One root span plus an index of its descendants."""
+
+    def __init__(self, root: Span, children: Dict[int, List[Span]]):
+        self.root = root
+        self._children = children
+
+    def children_of(self, span: Span) -> List[Span]:
+        return self._children.get(span.id, [])
+
+    def walk(self, skip_kinds: frozenset = frozenset()) -> Iterator[Span]:
+        """Depth-first traversal from the root (root included).
+
+        ``skip_kinds`` prunes whole subtrees: a span of a skipped kind is
+        neither yielded nor descended into.
+        """
+        stack = [self.root]
+        while stack:
+            span = stack.pop()
+            if span.kind in skip_kinds and span is not self.root:
+                continue
+            yield span
+            stack.extend(reversed(self.children_of(span)))
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def complete(self) -> bool:
+        """Every span in the tree finished (no in-flight operations)."""
+        return all(span.finished for span in self.walk())
+
+
+def build_trees(spans: List[Span]) -> List[SpanTree]:
+    """Group a span table into trees, in root-span-id order.
+
+    A span whose parent id is unknown (e.g. truncated away) becomes a
+    root of its own tree, so partial tables still render.
+    """
+    known = {span.id for span in spans}
+    children: Dict[int, List[Span]] = {}
+    roots: List[Span] = []
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in known:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    return [SpanTree(root, children) for root in roots]
+
+
+def client_path_wan_calls(tree: SpanTree, exclude_targets: frozenset = frozenset()) -> int:
+    """Wide-area RMI/JDBC spans the client actually waited on.
+
+    Prunes maintenance subtrees (update propagation, JMS publishes and
+    asynchronous deliveries) and spans against excluded targets (the
+    updater façade) — the tree-walk equivalent of the design-rule
+    checker's flat-trace filter, but structural rather than heuristic:
+    a JDBC refresh executed *inside* propagation is excluded because of
+    where it sits in the tree, not because of what it is named.
+    """
+    count = 0
+    stack = [tree.root]
+    while stack:
+        span = stack.pop()
+        if span is not tree.root:
+            if span.kind in MAINTENANCE_KINDS:
+                continue
+            if span.target is not None and span.target in exclude_targets:
+                continue
+        if span.wide_area and span.kind in ("rmi", "jdbc"):
+            count += 1
+        stack.extend(tree.children_of(span))
+    return count
+
+
+def spans_to_call_records(spans: List[Span]) -> List[tuple]:
+    """Project spans onto flat (kind, target, wide_area, request_id) tuples.
+
+    The flat :class:`~repro.simnet.monitor.Trace` is this projection plus
+    source/destination nodes; tests use it to assert that the two
+    instrumentation layers agree on what happened.
+    """
+    projected = []
+    for span in spans:
+        if span.kind in ("rmi", "jdbc", "jms"):
+            projected.append((span.kind, span.target, span.wide_area, span.request_id))
+    return projected

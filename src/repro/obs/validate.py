@@ -1,0 +1,60 @@
+"""Validate exported observability artifacts.
+
+Usage::
+
+    python -m repro.obs.validate trace.json metrics.json
+
+Each file is sniffed by shape — a ``traceEvents`` array is validated as
+a Chrome trace, a ``cells`` object as a metrics dump — and the process
+exits non-zero if any file fails, which is how CI gates the artifacts it
+uploads from the benchmark smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .export import validate_chrome_trace, validate_metrics
+
+__all__ = ["validate_file", "main"]
+
+
+def validate_file(path: str) -> List[str]:
+    """Problems found in one artifact file (empty list: valid)."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot load {path}: {error}"]
+    if isinstance(data, dict) and "traceEvents" in data:
+        return validate_chrome_trace(data)
+    if isinstance(data, dict) and "cells" in data:
+        return validate_metrics(data)
+    return [f"{path}: unrecognized artifact shape (no traceEvents or cells key)"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate exported trace/metrics JSON artifacts.",
+    )
+    parser.add_argument("files", nargs="+", help="artifact files to validate")
+    args = parser.parse_args(argv)
+    failed = 0
+    for path in args.files:
+        problems = validate_file(path)
+        if problems:
+            failed += 1
+            print(f"{path}: INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,11 @@ class Database:
         self.statements_executed = 0
         self.rows_scanned_total = 0
 
+    @property
+    def executor(self) -> Executor:
+        """The query executor (read-only access to its scan counters)."""
+        return self._executor
+
     # -- DDL / loading -----------------------------------------------------
     def create_table(self, schema: TableSchema) -> Table:
         if schema.name in self.tables:

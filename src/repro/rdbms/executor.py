@@ -167,6 +167,10 @@ class Executor:
 
     def __init__(self, tables: Dict[str, Table]):
         self.tables = tables
+        # Access-path evidence, per instance (never module-global: serial
+        # sweeps share one process across cells and would accumulate).
+        self.index_scans = 0
+        self.full_scans = 0
 
     def _table(self, name: str) -> Table:
         try:
@@ -242,9 +246,11 @@ class Executor:
             value = value_fn(EMPTY_ROW, params)
             candidates = table.index_lookup(indexed_column, value, copy=False)
             scanned = max(1, len(candidates))
+            self.index_scans += 1
         else:
             candidates = table.scan(copy=False)
             scanned = len(table)
+            self.full_scans += 1
         predicate = compiled(where) if where is not None else None
         rows: List[Dict[str, Any]] = []
         append = rows.append

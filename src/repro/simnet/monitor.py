@@ -124,6 +124,17 @@ class TraceSummary:
             return self.wide_area_by_kind.get(kind, 0)
         return sum(self.wide_area_by_kind.values())
 
+    def render(self) -> str:
+        """One-line human digest; always states truncation explicitly."""
+        kinds = " ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_kind.items())
+        )
+        wan = self.wide_area_calls()
+        return (
+            f"{self.records} calls ({kinds or 'none'}), "
+            f"{wan} wide-area, {self.dropped} dropped"
+        )
+
 
 @dataclass
 class PageStats:

@@ -79,6 +79,26 @@ def test_run_series_profile_results_identical(capsys):
         )
 
 
-def test_run_series_profile_rejects_parallel():
-    with pytest.raises(ValueError, match="jobs=1"):
-        run_series("petstore", workload=TINY, jobs=2, profile=True)
+def test_run_series_profile_forces_serial_with_warning(capsys):
+    """profile + jobs>1 downgrades to serial with an explicit warning."""
+    levels = [PatternLevel.CENTRALIZED]
+    results = run_series(
+        "petstore", levels=levels, workload=TINY, seed=7, jobs=2, profile=True
+    )
+    captured = capsys.readouterr()
+    assert "forcing jobs=1" in captured.err
+    assert "requested 2" in captured.err
+    # Serial path returns live ExperimentResult objects, not CellResult.
+    from repro.experiments.runner import ExperimentResult
+
+    assert isinstance(results[PatternLevel.CENTRALIZED], ExperimentResult)
+
+
+def test_warn_forced_serial_message():
+    from repro.experiments.profile import warn_forced_serial
+
+    stream = io.StringIO()
+    warn_forced_serial(4, stream)
+    message = stream.getvalue()
+    assert "cProfile cannot follow worker processes" in message
+    assert "requested 4" in message

@@ -1,0 +1,160 @@
+"""Chrome trace export: schema validity, determinism, and the CLI gate."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments import calibration
+from repro.experiments.runner import run_configuration, run_series
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+
+FAST = calibration.default_workload(duration_ms=20_000.0, warmup_ms=5_000.0)
+
+
+@pytest.fixture(scope="module")
+def facade_spans_state():
+    result = run_configuration(
+        "petstore",
+        PatternLevel.REMOTE_FACADE,
+        workload=FAST,
+        seed=7,
+        with_spans=True,
+    )
+    return result.spans_state
+
+
+def test_chrome_trace_schema(facade_spans_state):
+    data = chrome_trace_events([("petstore/L2", facade_spans_state)])
+    assert validate_chrome_trace(data) == []
+    events = data["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert complete and metadata
+    # Process row named after the cell, thread rows after nodes.
+    assert any(
+        e["name"] == "process_name" and e["args"]["name"] == "petstore/L2"
+        for e in metadata
+    )
+    for event in complete:
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert "span_id" in event["args"]
+    # Microsecond conversion: span at t=5ms renders at ts=5000.
+    first_http = next(e for e in complete if e.get("cat") == "http")
+    source = facade_spans_state["spans"][first_http["args"]["span_id"] - 1]
+    assert first_http["ts"] == pytest.approx(source["start"] * 1000.0)
+
+
+def test_chrome_trace_has_complete_span_trees(facade_spans_state):
+    data = chrome_trace_events([("cell", facade_spans_state)])
+    spans = {
+        e["args"]["span_id"]: e for e in data["traceEvents"] if e["ph"] == "X"
+    }
+    roots = [
+        e for e in spans.values()
+        if e["args"]["parent_id"] is None and e.get("cat") == "http"
+    ]
+    assert roots
+    children = set()
+    for event in spans.values():
+        parent = event["args"]["parent_id"]
+        if parent is not None:
+            assert parent in spans  # every parent resolvable
+            children.add(parent)
+    assert any(r["args"]["span_id"] in children for r in roots)
+
+
+def test_export_writes_canonical_json(tmp_path, facade_spans_state):
+    path = tmp_path / "trace.json"
+    export_chrome_trace([("cell", facade_spans_state)], str(path))
+    text = path.read_text()
+    data = json.loads(text)
+    assert validate_chrome_trace(data) == []
+    # Canonical form: compact separators, sorted keys, trailing newline.
+    assert text.endswith("\n")
+    assert json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n" == text
+
+
+def test_validate_rejects_broken_traces():
+    assert validate_chrome_trace([]) == ["top level is not an object"]
+    assert validate_chrome_trace({}) == ["missing traceEvents array"]
+    no_tree = {
+        "traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0, "dur": 1,
+             "args": {"span_id": 1, "parent_id": 99}},
+        ]
+    }
+    problems = validate_chrome_trace(no_tree)
+    assert any("unresolvable parent" in p for p in problems)
+    assert any("no complete span tree" in p for p in problems)
+
+
+def test_validate_cli_gates_artifacts(tmp_path, facade_spans_state):
+    good = tmp_path / "good.json"
+    bad = tmp_path / "bad.json"
+    export_chrome_trace([("cell", facade_spans_state)], str(good))
+    bad.write_text('{"traceEvents": []}')
+
+    def run_validate(*files):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.obs.validate", *map(str, files)],
+            capture_output=True, text=True, env=env,
+        )
+
+    ok = run_validate(good)
+    assert ok.returncode == 0 and "ok" in ok.stdout
+    fail = run_validate(good, bad)
+    assert fail.returncode == 1
+    assert "INVALID" in fail.stderr
+
+
+def test_trace_export_byte_identical_serial_vs_parallel(tmp_path):
+    levels = [PatternLevel.CENTRALIZED, PatternLevel.REMOTE_FACADE]
+    serial = run_series(
+        "petstore", levels=levels, workload=FAST, seed=21,
+        with_spans=True, jobs=1,
+    )
+    parallel = run_series(
+        "petstore", levels=levels, workload=FAST, seed=21,
+        with_spans=True, jobs=2,
+    )
+
+    def cells(results):
+        return [
+            (f"petstore/L{int(level)}", results[level].spans_state)
+            for level in levels
+        ]
+
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    export_chrome_trace(cells(serial), str(serial_path))
+    export_chrome_trace(cells(parallel), str(parallel_path))
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+
+def test_trace_summary_render_reports_dropped():
+    from repro.simnet.monitor import CallRecord, Trace
+
+    trace = Trace(max_records=1)
+    for index in range(3):
+        trace.record(
+            CallRecord(
+                time=float(index), kind="rmi", src_node="a", dst_node="b",
+                target="X", method="m", wide_area=True,
+            )
+        )
+    rendered = trace.summary().render()
+    assert "1 calls" in rendered
+    assert "2 dropped" in rendered
+    assert "1 wide-area" in rendered

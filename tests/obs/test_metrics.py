@@ -1,0 +1,175 @@
+"""MetricsRegistry instruments, merge semantics, and export determinism.
+
+The load-bearing property mirrors the tables/figures contract: the
+``--metrics-out`` artifact is byte-identical whether the sweep ran
+serially or across a worker pool.
+"""
+
+import json
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments import calibration
+from repro.experiments.runner import run_configuration, run_series
+from repro.obs.export import export_metrics, validate_metrics
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    collect_cache_stats,
+    merge_cache_stats,
+)
+
+FAST = calibration.default_workload(duration_ms=20_000.0, warmup_ms=5_000.0)
+LEVELS = [PatternLevel.CENTRALIZED, PatternLevel.QUERY_CACHING]
+
+
+# -- instruments --------------------------------------------------------------
+
+
+def test_counter_rejects_decrease():
+    counter = Counter()
+    counter.inc(3)
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 3
+
+
+def test_histogram_buckets_and_mean():
+    histogram = Histogram(bounds=(10.0, 100.0))
+    for value in (5.0, 50.0, 500.0):
+        histogram.observe(value)
+    assert histogram.counts == [1, 1, 1]
+    assert histogram.count == 3
+    assert histogram.mean == pytest.approx(185.0)
+
+
+def test_registry_rejects_type_conflicts_and_snapshots_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b.total").inc(2)
+    registry.gauge("a.level").set(7)
+    registry.histogram("c.lag").observe(12.0)
+    with pytest.raises(ValueError):
+        registry.gauge("b.total")
+    state = registry.to_state()
+    assert list(state["counters"]) == sorted(state["counters"])
+    assert registry.value("b.total") == 2
+    assert registry.value("a.level") == 7
+    restored = MetricsRegistry.from_state(state)
+    assert restored.to_state() == state
+
+
+def test_merge_state_adds_counters_and_maxes_gauges():
+    first = MetricsRegistry()
+    first.counter("n").inc(2)
+    first.gauge("u").set(0.3)
+    first.histogram("h", bounds=(1.0,)).observe(0.5)
+    second = MetricsRegistry()
+    second.counter("n").inc(5)
+    second.gauge("u").set(0.9)
+    second.histogram("h", bounds=(1.0,)).observe(2.0)
+    first.merge_state(second.to_state())
+    assert first.value("n") == 7
+    assert first.value("u") == 0.9
+    merged_h = first.to_state()["histograms"]["h"]
+    assert merged_h["count"] == 2 and merged_h["counts"] == [1, 1]
+
+
+def test_merge_cache_stats_sums_leafwise():
+    one = {"query_cache": {"edge1": {"q": {"hits": 2, "misses": 1}}}, "replicas": {}}
+    two = {"query_cache": {"edge1": {"q": {"hits": 3}}}, "replicas": {}}
+    merged = merge_cache_stats(one, two, None)
+    assert merged["query_cache"]["edge1"]["q"] == {"hits": 5, "misses": 1}
+
+
+# -- collection from a real run ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def metric_result():
+    return run_configuration(
+        "petstore",
+        PatternLevel.QUERY_CACHING,
+        workload=FAST,
+        seed=7,
+        with_metrics=True,
+    )
+
+
+def test_collect_system_metrics_covers_every_layer(metric_result):
+    names = metric_result.metrics.names()
+    assert "app_server.main.http_requests" in names
+    assert "db.statements" in names
+    assert "db.executor.index_scans" in names
+    assert "db.executor.full_scans" in names
+    assert "workload.requests" in names
+    assert any(name.startswith("querycache.") for name in names)
+    assert any(name.startswith("replica.") for name in names)
+    assert metric_result.metrics.value("workload.requests") > 0
+    assert metric_result.metrics.value("db.executor.index_scans") > 0
+
+
+def test_cache_stats_survive_the_run(metric_result):
+    stats = metric_result.cache_stats
+    assert stats is not None
+    assert set(stats) == {"query_cache", "replicas"}
+    hits = sum(
+        counters.get("hits", 0)
+        for per_server in stats["replicas"].values()
+        for counters in per_server.values()
+    )
+    assert hits > 0
+    # Canonical nesting: server keys sorted.
+    assert list(stats["replicas"]) == sorted(stats["replicas"])
+
+
+def test_cache_stats_match_metrics_registry(metric_result):
+    """querycache.* counters are exactly the cache_stats leaves."""
+    stats = collect_cache_stats(metric_result.system)
+    for server, per_query in stats["query_cache"].items():
+        for query_id, counters in per_query.items():
+            for counter_name, value in counters.items():
+                name = f"querycache.{server}.{query_id}.{counter_name}"
+                assert metric_result.metrics.value(name) == value
+
+
+# -- serial/parallel byte identity -------------------------------------------
+
+
+def test_metrics_export_byte_identical_serial_vs_parallel(tmp_path):
+    serial = run_series(
+        "petstore", levels=LEVELS, workload=FAST, seed=21,
+        with_metrics=True, jobs=1,
+    )
+    parallel = run_series(
+        "petstore", levels=LEVELS, workload=FAST, seed=21,
+        with_metrics=True, jobs=2,
+    )
+
+    def cells(results):
+        return [
+            (f"petstore/L{int(level)}", results[level].metrics_state)
+            for level in LEVELS
+        ]
+
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    export_metrics(cells(serial), str(serial_path))
+    export_metrics(cells(parallel), str(parallel_path))
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+    assert validate_metrics(json.loads(serial_path.read_text())) == []
+
+
+def test_cell_results_carry_observability_snapshots():
+    results = run_series(
+        "petstore", levels=[PatternLevel.QUERY_CACHING], workload=FAST,
+        seed=21, with_metrics=True, jobs=2,
+    )
+    cell = results[PatternLevel.QUERY_CACHING]
+    assert cell.metrics_state is not None
+    assert cell.cache_stats is not None
+    assert cell.spans_state is None  # spans were not requested
+    assert any(
+        name.startswith("querycache.") for name in cell.metrics_state["counters"]
+    )
