@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..faults.stats import ResilienceStats
 from ..middleware.costs import MiddlewareCosts
 from ..middleware.descriptors import ApplicationDescriptor, ComponentKind
 from ..middleware.jms import JmsProvider
@@ -47,6 +48,7 @@ class DeployedSystem:
     trace: Optional[Trace] = None
     spans: Optional["SpanRecorder"] = None
     metrics: Optional["MetricsRegistry"] = None
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def main(self) -> AppServer:
@@ -176,6 +178,16 @@ def distribute(
         if server is not main:
             server.central = main
 
+    # One ResilienceStats shared by every server: retries, timeouts and
+    # staleness are system-wide observations, and crash handling needs
+    # each server to know its peers so their idle sockets can be dropped.
+    resilience = ResilienceStats()
+    for server in servers.values():
+        server.resilience = resilience
+        server.peers = {
+            name: other for name, other in servers.items() if other is not server
+        }
+
     # 5. Messaging provider lives on the main server.
     jms = JmsProvider(env, main)
     jms.metrics = metrics
@@ -235,4 +247,5 @@ def distribute(
         trace=trace,
         spans=spans,
         metrics=metrics,
+        resilience=resilience,
     )

@@ -28,6 +28,12 @@ import argparse
 import sys
 
 from ..core.patterns import PatternLevel
+from ..faults.report import (
+    availability_to_json,
+    build_availability_table,
+    render_availability_table,
+)
+from ..faults.scenarios import SCENARIOS, load_schedule
 from .calibration import SIM_DURATION_MS, SIM_WARMUP_MS, default_workload
 from .figures import build_figure, figure_to_csv, render_figure
 from .parallel import default_jobs, run_cells
@@ -137,6 +143,21 @@ def main(argv=None) -> int:
         default=None,
         help="write per-cell metrics-registry snapshots as sorted-key JSON",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SCENARIO",
+        default=None,
+        help="inject a fault scenario: a canned name "
+        f"({', '.join(sorted(SCENARIOS))}) or a path to a schedule JSON; "
+        "prints an availability table per app after the sweep",
+    )
+    parser.add_argument(
+        "--availability-out",
+        metavar="FILE",
+        default=None,
+        help="with --faults: also write the availability report as "
+        "sorted-key JSON",
+    )
     args = parser.parse_args(argv)
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     if args.profile and jobs != 1:
@@ -150,6 +171,10 @@ def main(argv=None) -> int:
     with_trace = with_spans
     with_metrics = args.metrics_out is not None
 
+    if args.availability_out is not None and args.faults is None:
+        print("[faults] --availability-out requires --faults", file=sys.stderr)
+        return 2
+
     if args.target == ABLATION_TARGET:
         if args.profile:
             print("[profile] --profile is not supported for ablations", file=sys.stderr)
@@ -159,6 +184,9 @@ def main(argv=None) -> int:
                 "[obs] --trace-out/--metrics-out are not supported for ablations",
                 file=sys.stderr,
             )
+            return 2
+        if args.faults is not None:
+            print("[faults] --faults is not supported for ablations", file=sys.stderr)
             return 2
         from . import ablations
 
@@ -173,6 +201,13 @@ def main(argv=None) -> int:
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
     workload = default_workload(args.duration * 1000.0, args.warmup * 1000.0)
     apps_needed = sorted({TARGETS[target][0] for target in targets})
+
+    faults = None
+    if args.faults is not None:
+        faults = load_schedule(
+            args.faults, args.duration * 1000.0, args.warmup * 1000.0
+        )
+        print(f"[faults] scenario '{faults.name}' active", file=sys.stderr)
 
     levels = list(PatternLevel)
     cells = [(app, level) for app in apps_needed for level in levels]
@@ -193,6 +228,7 @@ def main(argv=None) -> int:
                 with_metrics=with_metrics,
                 progress=progress,
                 profile=args.profile,
+                faults=faults,
             )
             for app in apps_needed
         }
@@ -208,6 +244,7 @@ def main(argv=None) -> int:
             with_metrics=with_metrics,
             jobs=jobs,
             progress=progress,
+            faults=faults,
         )
         series_cache = {
             app: {level: results[(app, level)] for level in levels}
@@ -227,6 +264,23 @@ def main(argv=None) -> int:
         else:
             figure = build_figure(series)
             print(figure_to_csv(figure) if args.csv else render_figure(figure))
+
+    if faults is not None:
+        availability_tables = [
+            build_availability_table(
+                app, series_cache[app], scenario=faults.name
+            )
+            for app in apps_needed
+        ]
+        for table in availability_tables:
+            print()
+            print(render_availability_table(table))
+        if args.availability_out is not None:
+            with open(args.availability_out, "w") as handle:
+                handle.write(availability_to_json(availability_tables))
+            print(
+                f"[faults] wrote {args.availability_out}", file=sys.stderr
+            )
     return 0
 
 

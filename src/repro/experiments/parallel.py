@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.patterns import PatternLevel
+from ..faults.schedule import FaultSchedule
 from ..simnet.monitor import ResponseTimeMonitor, TraceSummary
 from ..workload.generator import WorkloadConfig
 from . import calibration
@@ -61,6 +62,9 @@ class CellTask:
     with_trace: bool = False
     with_spans: bool = False
     with_metrics: bool = False
+    # Fault schedule (frozen dataclasses of tuples — picklable); None or
+    # an empty schedule leaves the run untouched.
+    faults: Optional[FaultSchedule] = None
 
 
 @dataclass
@@ -87,6 +91,8 @@ class CellResult:
     spans_state: Optional[dict] = None
     metrics_state: Optional[dict] = None
     cache_stats: Optional[dict] = None
+    # Canonical resilience snapshot (see repro.faults.report).
+    resilience: Optional[dict] = None
     _monitor: Optional[ResponseTimeMonitor] = field(
         default=None, repr=False, compare=False
     )
@@ -100,10 +106,11 @@ class CellResult:
             monitor_state=result.monitor.to_state(),
             wall_seconds=result.wall_seconds,
             total_requests=result.generator.total_requests(),
-            trace_summary=result.trace.summary() if result.trace else None,
+            trace_summary=result.trace_summary,
             spans_state=result.spans_state,
             metrics_state=result.metrics_state,
             cache_stats=result.cache_stats,
+            resilience=result.resilience,
         )
 
     @property
@@ -135,6 +142,7 @@ def _run_cell(task: CellTask) -> CellResult:
         with_trace=task.with_trace,
         with_spans=task.with_spans,
         with_metrics=task.with_metrics,
+        faults=task.faults,
     )
     return CellResult.from_experiment(result)
 
@@ -148,6 +156,7 @@ def run_cells(
     with_metrics: bool = False,
     jobs: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> Dict[Tuple[str, PatternLevel], CellResult]:
     """Run every (app, level) cell, fanning out across ``jobs`` processes.
 
@@ -162,7 +171,14 @@ def run_cells(
         raise ValueError(f"duplicate cells in {keys!r}")
     tasks = {
         key: CellTask(
-            key[0], int(key[1]), workload, seed, with_trace, with_spans, with_metrics
+            key[0],
+            int(key[1]),
+            workload,
+            seed,
+            with_trace,
+            with_spans,
+            with_metrics,
+            faults=faults,
         )
         for key in keys
     }
@@ -197,6 +213,7 @@ def run_series_parallel(
     with_metrics: bool = False,
     jobs: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> Dict[PatternLevel, CellResult]:
     """Parallel counterpart of :func:`~repro.experiments.runner.run_series`.
 
@@ -212,5 +229,6 @@ def run_series_parallel(
         with_metrics=with_metrics,
         jobs=jobs,
         progress=progress,
+        faults=faults,
     )
     return {level: results[(app, level)] for level in levels}

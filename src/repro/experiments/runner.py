@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from ..apps import petstore, rubis
 from ..core.distribution import DeployedSystem, distribute
 from ..core.patterns import PatternLevel
+from ..faults.injector import FaultInjector
+from ..faults.report import collect_resilience
+from ..faults.schedule import FaultSchedule
 from ..obs.metrics import MetricsRegistry, collect_cache_stats, collect_system_metrics
 from ..obs.spans import SpanRecorder
 from ..simnet.kernel import Environment
@@ -107,6 +110,10 @@ class ExperimentResult:
     # Query-cache and replica counters, collected before the system is
     # dropped — previously this evidence died with the run.
     cache_stats: Optional[dict] = None
+    # Canonical resilience snapshot (all-zero in fault-free runs) and the
+    # injector that produced it (None when no schedule was installed).
+    resilience: Optional[dict] = None
+    fault_injector: Optional[FaultInjector] = None
 
     def mean(self, group: str, page: str) -> float:
         return self.monitor.mean(group, page)
@@ -127,6 +134,20 @@ class ExperimentResult:
         """Picklable metrics snapshot (None when metrics were off)."""
         return self.metrics.to_state() if self.metrics is not None else None
 
+    @property
+    def trace_summary(self):
+        """Trace digest with resilience counters folded in (None without trace)."""
+        if self.trace is None:
+            return None
+        snapshot = self.resilience or {}
+        return replace(
+            self.trace.summary(),
+            retries=snapshot.get("rmi_retries", 0),
+            timeouts=snapshot.get("rmi_timeouts", 0),
+            failovers=snapshot.get("failovers", 0),
+            dropped_updates=snapshot.get("dropped_updates", 0),
+        )
+
 
 def run_configuration(
     app: str,
@@ -139,6 +160,7 @@ def run_configuration(
     costs_override=None,
     sizes: Optional[dict] = None,
     warm_replicas: bool = True,
+    faults: Optional[FaultSchedule] = None,
 ) -> ExperimentResult:
     """Run one (application, pattern level) cell of the evaluation."""
     from ..middleware.context import reset_ids
@@ -175,6 +197,11 @@ def run_configuration(
         system.warm_replicas()
         if spec.warm_queries is not None:
             system.warm_query_caches(spec.warm_queries(catalog))
+    injector = None
+    if faults is not None and not faults.empty:
+        # An empty schedule installs nothing at all — no kernel events,
+        # no RNG draws — so fault-free runs stay byte-identical.
+        injector = FaultInjector(faults, streams).install(env, system)
     generator = LoadGenerator(
         system,
         streams,
@@ -186,6 +213,8 @@ def run_configuration(
     started = time.perf_counter()
     monitor = generator.run(env)
     wall = time.perf_counter() - started
+    # Close staleness windows before the metrics snapshot reads them.
+    resilience = collect_resilience(system, generator=generator)
     if metrics is not None:
         collect_system_metrics(metrics, system, generator=generator)
     return ExperimentResult(
@@ -199,6 +228,8 @@ def run_configuration(
         spans=spans,
         metrics=metrics,
         cache_stats=collect_cache_stats(system),
+        resilience=resilience,
+        fault_injector=injector,
     )
 
 
@@ -213,6 +244,7 @@ def run_series(
     jobs: Optional[int] = None,
     progress=None,
     profile: bool = False,
+    faults: Optional[FaultSchedule] = None,
 ) -> Dict[PatternLevel, "ExperimentResult"]:
     """All five configurations of one application (Tables 6/7).
 
@@ -254,6 +286,7 @@ def run_series(
                 with_metrics=with_metrics,
                 jobs=jobs,
                 progress=progress,
+                faults=faults,
             )
     results: Dict[PatternLevel, ExperimentResult] = {}
     for level in levels:
@@ -269,6 +302,7 @@ def run_series(
                 with_trace=with_trace,
                 with_spans=with_spans,
                 with_metrics=with_metrics,
+                faults=faults,
             )
             dump_cell_profile(f"{app} L{int(level)}", stats, sys.stderr)
         else:
@@ -280,6 +314,7 @@ def run_series(
                 with_trace=with_trace,
                 with_spans=with_spans,
                 with_metrics=with_metrics,
+                faults=faults,
             )
         results[level] = result
         if progress is not None:

@@ -1,0 +1,116 @@
+"""The per-configuration availability/degradation report.
+
+``collect_resilience`` condenses one finished run into a canonical plain
+dict (picklable, sorted keys) carried on ``ExperimentResult`` /
+``CellResult`` next to the monitor state; ``build_availability_table`` /
+``render_availability_table`` turn a five-configuration series of those
+dicts into the availability table printed alongside Tables 6–7 when a
+fault scenario is active.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.patterns import PatternLevel, level_name
+
+__all__ = [
+    "collect_resilience",
+    "AvailabilityTable",
+    "build_availability_table",
+    "render_availability_table",
+    "availability_to_json",
+]
+
+
+def collect_resilience(system, generator=None) -> dict:
+    """Snapshot the deployment's resilience counters (canonical dict).
+
+    Always cheap and always collected — in a fault-free run every value
+    is zero, which is itself evidence the run was clean.  Closes any
+    still-open staleness windows at the current sim time first.
+    """
+    stats = system.resilience
+    data: dict = {
+        "requests": 0,
+        "errors": 0,
+        "failovers": 0,
+    }
+    if generator is not None:
+        data["requests"] = generator.total_requests()
+        data["errors"] = sum(client.errors for client in generator.clients)
+        data["failovers"] = sum(client.failovers for client in generator.clients)
+    if stats is not None:
+        stats.finalize(system.env.now)
+        data.update(stats.to_dict())
+    return data
+
+
+@dataclass(frozen=True)
+class AvailabilityTable:
+    """One application's availability grid under one fault scenario."""
+
+    app: str
+    scenario: str
+    # ((level, resilience dict), ...) in ascending level order.
+    rows: Tuple[Tuple[PatternLevel, dict], ...]
+
+
+def build_availability_table(app: str, series: Dict, scenario: str = "") -> AvailabilityTable:
+    """Assemble the table from a run series (results carry ``resilience``)."""
+    rows = []
+    for level in sorted(series, key=int):
+        resilience = series[level].resilience or {}
+        rows.append((PatternLevel(level), resilience))
+    return AvailabilityTable(app=app, scenario=scenario, rows=tuple(rows))
+
+
+def _availability_pct(row: dict) -> float:
+    requests = row.get("requests", 0)
+    errors = row.get("errors", 0)
+    attempted = requests + errors
+    if not attempted:
+        return 100.0
+    return 100.0 * requests / attempted
+
+
+def render_availability_table(table: AvailabilityTable) -> str:
+    """Text rendering, one configuration per row."""
+    title = f"Availability under fault scenario '{table.scenario or '?'}' ({table.app})"
+    header = (
+        f"{'Configuration':32s} {'ok':>7s} {'err':>6s} {'avail%':>7s} "
+        f"{'failov':>6s} {'retry':>6s} {'t/out':>6s} {'redlv':>6s} "
+        f"{'drop':>5s} {'stale(s)':>9s}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for level, row in table.rows:
+        staleness_s = sum(row.get("staleness_ms", {}).values()) / 1000.0
+        lines.append(
+            f"{level_name(level):32s} "
+            f"{row.get('requests', 0):>7d} "
+            f"{row.get('errors', 0):>6d} "
+            f"{_availability_pct(row):>7.2f} "
+            f"{row.get('failovers', 0):>6d} "
+            f"{row.get('rmi_retries', 0):>6d} "
+            f"{row.get('rmi_timeouts', 0):>6d} "
+            f"{row.get('jms_redeliveries', 0):>6d} "
+            f"{row.get('dropped_updates', 0):>5d} "
+            f"{staleness_s:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def availability_to_json(tables) -> str:
+    """Canonical JSON for the availability artifact (sorted keys)."""
+    payload = {
+        table.app: {
+            "scenario": table.scenario,
+            "configurations": {
+                f"L{int(level)}": row for level, row in table.rows
+            },
+        }
+        for table in tables
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

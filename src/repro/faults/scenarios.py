@@ -1,0 +1,114 @@
+"""Canned fault scenarios, parameterized by the run's duration.
+
+A scenario is a function ``(duration_ms, warmup_ms) -> FaultSchedule``:
+windows are placed relative to the measured (post-warm-up) portion of
+the run so the same scenario name works for a 40-second smoke cell and a
+full 20-minute sweep.  ``load_schedule`` is the CLI entry point: it
+accepts either a canned scenario name or a path to a JSON file matching
+:meth:`FaultSchedule.to_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict
+
+from .schedule import (
+    FaultSchedule,
+    LatencySpike,
+    LinkPartition,
+    LossWindow,
+    ServerCrash,
+)
+
+__all__ = ["SCENARIOS", "scenario", "load_schedule"]
+
+
+def _window(duration_ms: float, warmup_ms: float, lo: float, hi: float):
+    """[lo, hi) as fractions of the measured portion, in absolute ms."""
+    active = max(0.0, duration_ms - warmup_ms)
+    return warmup_ms + lo * active, warmup_ms + hi * active
+
+
+def edge_partition(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+    """The paper's nightmare: the WAN link to edge1 goes dark mid-run.
+
+    Every request from edge1's clients that needs the main server —
+    centralized page fetches, remote facade calls, replica pulls, sync
+    pushes — fails for the window; edge-heavy patterns keep serving
+    local reads from replicas and caches while staleness accrues.
+    """
+    start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
+    return FaultSchedule(
+        name="edge-partition",
+        partitions=(LinkPartition("router", "edge1", start, end),),
+    ).validate()
+
+
+def edge_crash(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+    """edge1's app-server process dies and restarts cold.
+
+    Routing survives, so edge1's clients fail over to the main server
+    over the WAN for the window; after restart the edge serves again
+    with empty session stores, replicas and caches.
+    """
+    start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
+    return FaultSchedule(
+        name="edge-crash", crashes=(ServerCrash("edge1", start, end),)
+    ).validate()
+
+
+def flaky_wan(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+    """Lossy, jittery WAN: 2% loss on both edge links plus jitter on edge1."""
+    start, end = _window(duration_ms, warmup_ms, 0.25, 0.75)
+    return FaultSchedule(
+        name="flaky-wan",
+        loss_windows=(
+            LossWindow("router", "edge1", start, end, probability=0.02),
+            LossWindow("router", "edge2", start, end, probability=0.02),
+        ),
+        latency_spikes=(
+            LatencySpike("router", "edge1", start, end, extra_ms=30.0, jitter_ms=40.0),
+        ),
+    ).validate()
+
+
+def latency_spike(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+    """A routing flap quadruples edge1's one-way WAN latency for a while."""
+    start, end = _window(duration_ms, warmup_ms, 0.35, 0.65)
+    return FaultSchedule(
+        name="latency-spike",
+        latency_spikes=(
+            LatencySpike("router", "edge1", start, end, extra_ms=300.0, jitter_ms=100.0),
+        ),
+    ).validate()
+
+
+SCENARIOS: Dict[str, Callable[[float, float], FaultSchedule]] = {
+    "edge-partition": edge_partition,
+    "edge-crash": edge_crash,
+    "flaky-wan": flaky_wan,
+    "latency-spike": latency_spike,
+}
+
+
+def scenario(name: str, duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+    """Build the canned scenario ``name`` for a run of the given length."""
+    try:
+        build = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault scenario {name!r}; canned scenarios: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return build(duration_ms, warmup_ms)
+
+
+def load_schedule(spec: str, duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+    """Resolve a ``--faults`` argument: canned name or JSON file path."""
+    looks_like_path = spec.endswith(".json") or os.sep in spec
+    if looks_like_path or (spec not in SCENARIOS and os.path.exists(spec)):
+        with open(spec, "r", encoding="utf-8") as handle:
+            return FaultSchedule.from_json(json.load(handle))
+    return scenario(spec, duration_ms, warmup_ms)

@@ -53,6 +53,19 @@ class MiddlewareCosts:
     jms_message_base: int = 420
     mdb_dispatch_cpu: float = 0.25
 
+    # -- resilience ----------------------------------------------------------
+    # Deadline/retry policy for remote invocations and JMS redelivery.
+    # These only matter once the fault layer (repro.faults) disturbs the
+    # network: a fault-free run never enters a retry or backoff path, so
+    # the defaults change nothing in the paper-reproduction sweeps.
+    rmi_timeout_ms: float = 3_000.0    # per-call deadline (matches the 2003-era
+                                       # client connect timeout in the web tier)
+    rmi_max_retries: int = 3
+    rmi_backoff_base_ms: float = 50.0  # capped exponential: base * 2^(attempt-1)
+    rmi_backoff_cap_ms: float = 2_000.0
+    jms_max_redeliveries: int = 3      # then the message is dead-lettered
+    jms_redelivery_backoff_ms: float = 500.0
+
     # -- persistence ---------------------------------------------------------
     ejb_load_cpu: float = 0.08
     ejb_store_cpu: float = 0.08

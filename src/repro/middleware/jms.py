@@ -18,6 +18,7 @@ from typing import Any, Dict, Generator, List, Tuple, TYPE_CHECKING
 from ..simnet.kernel import Environment, Event
 from .context import InvocationContext
 from .marshalling import sizeof
+from .resilience import RETRYABLE_ERRORS, RmiTimeout, backoff_delay
 
 if TYPE_CHECKING:  # pragma: no cover
     from .server import AppServer
@@ -65,6 +66,13 @@ class JmsProvider:
         self.delivery_latency_total = 0.0
         self.deliveries = 0
         self.metrics = None  # MetricsRegistry, set by distribute()
+        # Redelivery + dead-letter queue: a delivery that keeps hitting
+        # transport faults is retried with backoff up to the cost
+        # profile's budget, then parked here as (topic, message id,
+        # subscriber) — the update is *dropped* and the subscriber's
+        # replicas go stale until a later update lands.
+        self.redeliveries = 0
+        self.dead_letters: List[Tuple[str, int, str]] = []
 
     def topic(self, name: str) -> Topic:
         existing = self.topics.get(name)
@@ -141,18 +149,51 @@ class JmsProvider:
             method="on_message",
             parent_id=parent_span_id,
         )
+        costs = self.host_server.costs
+        stats = self.host_server.resilience
+        attempt = 0
         try:
-            if broker_node != subscriber_node:
-                yield from self.host_server.network.transfer(
-                    broker_node, subscriber_node, message.wire_size(), kind="jms"
-                )
-            delivery_ctx = ctx.at_server(subscriber_server)
-            if span is not None:
-                delivery_ctx.span_id = span.id  # fresh context; bind in place
-            yield from delivery_ctx.cpu(delivery_ctx.costs.mdb_dispatch_cpu)
-            yield from container.invoke(delivery_ctx, "on_message", (message,))
+            while True:
+                attempt += 1
+                try:
+                    if broker_node != subscriber_node:
+                        yield from self.host_server.network.transfer(
+                            broker_node, subscriber_node, message.wire_size(), kind="jms"
+                        )
+                    delivery_ctx = ctx.at_server(subscriber_server)
+                    if span is not None:
+                        delivery_ctx.span_id = span.id  # fresh context; bind in place
+                    yield from delivery_ctx.cpu(delivery_ctx.costs.mdb_dispatch_cpu)
+                    yield from container.invoke(delivery_ctx, "on_message", (message,))
+                    break
+                except RETRYABLE_ERRORS + (RmiTimeout,):
+                    if stats is not None:
+                        # The subscriber missed an update: stale from the
+                        # first failed attempt until something lands.
+                        stats.mark_stale(subscriber_server.name, self.env.now)
+                    if attempt > costs.jms_max_redeliveries:
+                        self.dead_letters.append(
+                            (topic.name, message.id, subscriber_server.name)
+                        )
+                        if stats is not None:
+                            stats.jms_dead_lettered += 1
+                            stats.dropped_updates += 1
+                        return
+                    self.redeliveries += 1
+                    if stats is not None:
+                        stats.jms_redeliveries += 1
+                    yield self.env.timeout(
+                        backoff_delay(
+                            costs.jms_redelivery_backoff_ms,
+                            costs.rmi_backoff_cap_ms,
+                            attempt,
+                        )
+                    )
             topic.delivered += 1
             self.deliveries += 1
+            if stats is not None:
+                # A successful delivery ends any open staleness window.
+                stats.mark_fresh(subscriber_server.name, self.env.now)
             lag = self.env.now - message.published_at
             self.delivery_latency_total += lag
             if self.metrics is not None:

@@ -92,6 +92,16 @@ class QueryCacheManager:
         return [dict(row) for row in rows]
 
     # -- maintenance (update propagation) ---------------------------------------
+    def drop_all(self) -> None:
+        """Server-process crash: every cached result set is lost.
+
+        Registrations and per-query counters survive — the cache comes
+        back registered-but-empty, refilling on demand.
+        """
+        for query_id in self._entries:
+            self._entries[query_id].clear()
+            self._stale[query_id].clear()
+
     def invalidate(self, query_id: str, params: Optional[Tuple]) -> None:
         if query_id not in self._descriptors:
             return

@@ -77,6 +77,16 @@ class ReadOnlyEntityContainer(BaseContainer):
         else:
             self.invalidate(event.primary_key)
 
+    def drop_all(self) -> None:
+        """Server-process crash: the replica restarts cold (counters survive).
+
+        Subsequent reads repopulate entity by entity through the normal
+        pull-on-miss path — one WAN round trip each — which is exactly
+        the post-restart degradation the availability report measures.
+        """
+        self._cache.clear()
+        self._stale.clear()
+
     def invalidate(self, primary_key: Any = None) -> None:
         """Pull-path: mark one entry (or everything) stale."""
         self.invalidations += 1

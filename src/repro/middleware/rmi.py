@@ -19,6 +19,7 @@ from ..simnet.kernel import Event
 from .context import InvocationContext
 from .descriptors import ComponentDescriptor
 from .marshalling import call_size, result_size
+from .resilience import RETRYABLE_ERRORS, RmiTimeout, backoff_delay
 
 if TYPE_CHECKING:  # pragma: no cover
     from .server import AppServer
@@ -143,50 +144,40 @@ class RemoteRef(ComponentRef):
             method=method,
         )
 
-        if not self._stub_created:
-            # First use of the remote stub: an extra round trip to create
-            # it (the paper pools stubs client-side to avoid this).
-            yield from network.transfer(src, dst, 96, kind="rmi")
-            yield from network.transfer(dst, src, 512, kind="rmi")
-            self._stub_created = True
-
         marshal_args = args if identity is None else args + (identity,)
         request_bytes = call_size(
             costs.rmi_marshal_base, costs.rmi_marshal_per_arg, method, marshal_args
         )
+        # Deadline-based timeout with capped exponential-backoff retries.
+        # The deadline is pure arithmetic — no race events, no pending
+        # timeouts — so a call that never faults schedules exactly the
+        # same kernel events as before the resilience layer existed.
+        deadline = start + costs.rmi_timeout_ms
+        attempt = 0
         try:
-            yield from ctx.cpu(costs.rmi_cpu)  # client-side marshalling
-
-            pool = self.source_server.rmi_pool(dst)
-            connection = yield from pool.checkout(src, dst)
-            try:
-                yield from network.transfer(src, dst, request_bytes, kind="rmi")
-                callee_ctx = ctx.at_server(self.target_server)
-                if span is not None:
-                    callee_ctx.span_id = span.id  # fresh context; bind in place
-                yield from callee_ctx.cpu(costs.rmi_cpu)  # server-side unmarshalling
-                result = yield from self.container.invoke(
-                    callee_ctx, method, args, identity=identity
-                )
-                response_bytes = result_size(costs.rmi_result_base, result)
-                yield from network.transfer(dst, src, response_bytes, kind="rmi")
-            finally:
-                pool.checkin(connection)
-
-            # Distributed garbage collection / ping traffic: the *latency*
-            # effect is an amortized fractional extra round trip per call; the
-            # *bytes* flow as detached ping/lease traffic sized to reproduce
-            # "more than half of the data traffic incurred by RMI is due to
-            # distributed garbage collection" (§4.3, citing [5]).
-            if costs.rmi_dgc_fraction > 0:
-                dgc_delay = costs.rmi_dgc_fraction * 2.0 * network.path_latency(src, dst)
-                if dgc_delay > 0:
-                    yield ctx.env.timeout(dgc_delay)
-                dgc_bytes = request_bytes + response_bytes
-                ctx.env.process(
-                    self._dgc_traffic(network, src, dst, dgc_bytes),
-                    name=f"dgc-{self.descriptor.name}",
-                )
+            while True:
+                attempt += 1
+                try:
+                    result = yield from self._attempt(
+                        ctx, span, method, args, identity, costs, network,
+                        src, dst, request_bytes,
+                    )
+                    break
+                except RETRYABLE_ERRORS as error:
+                    stats = self.source_server.resilience
+                    if attempt > costs.rmi_max_retries or ctx.env.now >= deadline:
+                        if stats is not None:
+                            stats.rmi_timeouts += 1
+                        raise RmiTimeout(
+                            self.descriptor.name, method, src, dst, attempt
+                        ) from error
+                    if stats is not None:
+                        stats.rmi_retries += 1
+                    yield ctx.env.timeout(
+                        backoff_delay(
+                            costs.rmi_backoff_base_ms, costs.rmi_backoff_cap_ms, attempt
+                        )
+                    )
         finally:
             ctx.finish_span(span)
 
@@ -196,8 +187,73 @@ class RemoteRef(ComponentRef):
         )
         return result
 
+    def _attempt(
+        self,
+        ctx: InvocationContext,
+        span,
+        method: str,
+        args: tuple,
+        identity: Any,
+        costs,
+        network,
+        src: str,
+        dst: str,
+        request_bytes: int,
+    ) -> Generator[Event, Any, Any]:
+        """One marshalled round trip (the pre-resilience ``call`` body)."""
+        if not self._stub_created:
+            # First use of the remote stub: an extra round trip to create
+            # it (the paper pools stubs client-side to avoid this).
+            yield from network.transfer(src, dst, 96, kind="rmi")
+            yield from network.transfer(dst, src, 512, kind="rmi")
+            self._stub_created = True
+
+        yield from ctx.cpu(costs.rmi_cpu)  # client-side marshalling
+
+        pool = self.source_server.rmi_pool(dst)
+        connection = yield from pool.checkout(src, dst)
+        try:
+            yield from network.transfer(src, dst, request_bytes, kind="rmi")
+            callee_ctx = ctx.at_server(self.target_server)
+            if span is not None:
+                callee_ctx.span_id = span.id  # fresh context; bind in place
+            yield from callee_ctx.cpu(costs.rmi_cpu)  # server-side unmarshalling
+            result = yield from self.container.invoke(
+                callee_ctx, method, args, identity=identity
+            )
+            response_bytes = result_size(costs.rmi_result_base, result)
+            yield from network.transfer(dst, src, response_bytes, kind="rmi")
+        except BaseException:
+            # A fault mid-exchange leaves the socket in an unknown state;
+            # close it so the pool never hands out a broken connection.
+            connection.close()
+            raise
+        finally:
+            pool.checkin(connection)  # no-op when the connection is closed
+
+        # Distributed garbage collection / ping traffic: the *latency*
+        # effect is an amortized fractional extra round trip per call; the
+        # *bytes* flow as detached ping/lease traffic sized to reproduce
+        # "more than half of the data traffic incurred by RMI is due to
+        # distributed garbage collection" (§4.3, citing [5]).
+        if costs.rmi_dgc_fraction > 0:
+            dgc_delay = costs.rmi_dgc_fraction * 2.0 * network.path_latency(src, dst)
+            if dgc_delay > 0:
+                yield ctx.env.timeout(dgc_delay)
+            dgc_bytes = request_bytes + response_bytes
+            ctx.env.process(
+                self._dgc_traffic(network, src, dst, dgc_bytes),
+                name=f"dgc-{self.descriptor.name}",
+            )
+        return result
+
     def _dgc_traffic(self, network, src: str, dst: str, total_bytes: int):
         """Background DGC lease/ping exchange accompanying one call."""
         half = max(32, total_bytes // 2)
-        yield from network.transfer(src, dst, half, kind="dgc")
-        yield from network.transfer(dst, src, total_bytes - half, kind="dgc")
+        try:
+            yield from network.transfer(src, dst, half, kind="dgc")
+            yield from network.transfer(dst, src, total_bytes - half, kind="dgc")
+        except RETRYABLE_ERRORS:
+            # Detached background traffic has no waiter to fail into;
+            # lease/ping bytes lost to a partition are simply gone.
+            pass

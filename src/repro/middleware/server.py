@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
+from ..faults.stats import ResilienceStats
 from ..rdbms.jdbc import DataSource, JdbcConfig
 from ..rdbms.server import DatabaseServer, result_wire_size
 from ..simnet.kernel import Environment, Event
@@ -87,6 +88,14 @@ class AppServer:
         # Availability: clients probing a failed server time out and may
         # fail over to another entry point (§1's availability argument).
         self.available = True
+        self.crashes = 0
+        # Deployment-wide resilience counters; distribute() replaces this
+        # per-server default with one instance shared by every server.
+        self.resilience = ResilienceStats()
+        # Peer servers by node name (set by distribute()): lets RMI pools
+        # refuse connections to crashed peers instead of failing
+        # mid-exchange, and lets crash() flush peers' pooled sockets.
+        self.peers: Dict[str, "AppServer"] = {}
 
         self._rmi_pools: Dict[str, ConnectionPool] = {}
         self._datasource: Optional[DataSource] = None
@@ -116,6 +125,41 @@ class AppServer:
 
     def recover(self) -> None:
         """Bring the server back up."""
+        self.available = True
+
+    def crash(self) -> None:
+        """The server *process* dies: go down AND lose volatile state.
+
+        Unlike :meth:`fail` (a reachability blip), a crash drains
+        everything held in process memory — HTTP sessions, stateful bean
+        instances, stateless instance pools, read-only replica caches,
+        query caches, the home-stub cache, and open connections (ours and
+        the idle sockets peers pooled towards us).  The *node* keeps
+        routing; only the application server is gone, so clients can fail
+        over to another entry point while we are down.
+        """
+        self.available = False
+        self.crashes += 1
+        if self.resilience is not None:
+            self.resilience.server_crashes += 1
+        self.web_sessions.clear()
+        for container in self.containers.values():
+            drain = getattr(container, "drain", None)
+            if drain is not None:
+                drain()
+        for container in self._readonly.values():
+            container.drop_all()
+        if self.query_cache is not None:
+            self.query_cache.drop_all()
+        self.home_cache.invalidate()
+        self._rmi_pools.clear()
+        self._datasource = None
+        for peer in self.peers.values():
+            for pool in peer._rmi_pools.values():
+                pool.drop_connections_to(self.node.name)
+
+    def restart(self) -> None:
+        """Come back up cold: empty caches refill through normal traffic."""
         self.available = True
 
     def is_wide_area(self, other_node: str) -> bool:
@@ -173,10 +217,21 @@ class AppServer:
         return self._readonly.get(name)
 
     # -- reference resolution ---------------------------------------------------
+    def _peer_available(self, node_name: str) -> bool:
+        """Liveness oracle for connection pools (counts refusals)."""
+        peer = self.peers.get(node_name)
+        if peer is None or peer.available:
+            return True
+        if self.resilience is not None:
+            self.resilience.pool_refusals += 1
+        return False
+
     def rmi_pool(self, dst_node: str) -> ConnectionPool:
         pool = self._rmi_pools.get(dst_node)
         if pool is None:
-            pool = ConnectionPool(self._network, kind="rmi")
+            pool = ConnectionPool(
+                self._network, kind="rmi", availability=self._peer_available
+            )
             self._rmi_pools[dst_node] = pool
         return pool
 

@@ -79,6 +79,10 @@ class StatelessSessionContainer(BaseContainer):
         self.pool_size = pool_size
         self.instances_created = 0
 
+    def drain(self) -> None:
+        """Server-process crash: pooled instances are gone (counters survive)."""
+        self._pool.clear()
+
     def _checkout(self, ctx: InvocationContext) -> Generator[Event, Any, Any]:
         if self._pool:
             return self._pool.pop()
@@ -138,6 +142,12 @@ class StatefulSessionContainer(BaseContainer):
         self.instances_removed = 0
         self.passivations = 0
         self.activations = 0
+
+    def drain(self) -> None:
+        """Server-process crash: all conversational state is lost (counters survive)."""
+        self._instances.clear()
+        self._passivated.clear()
+        self._last_used.clear()
 
     def _touch(self, key: str) -> None:
         self._use_counter += 1

@@ -33,6 +33,7 @@ from .descriptors import (
     UpdateMode,
 )
 from .ejb import MessageDrivenBean, StatelessSessionBean
+from .resilience import RETRYABLE_ERRORS, RmiTimeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from .server import AppServer
@@ -154,6 +155,10 @@ class UpdatePropagator:
         self.sync_pushes = 0
         self.async_publishes = 0
         self.blocking_time_total = 0.0
+        # Pushes abandoned after the RMI layer exhausted its retries.
+        # The write already committed locally, so the edge replica is
+        # simply stale until a later push succeeds.
+        self.failed_pushes = 0
         # Relaxed-consistency batching (§5, TACT-style staleness bounds):
         # events whose descriptor declares staleness_bound_ms accumulate
         # here and flush in one coalesced publish within the bound.
@@ -296,8 +301,21 @@ class UpdatePropagator:
     def _push_one(
         self, ctx: InvocationContext, target: "AppServer", payload: UpdatePayload
     ) -> Generator[Event, Any, None]:
-        ref = yield from self.server.lookup_at(ctx, UPDATER_FACADE, target)
-        yield from ref.call(ctx, "apply_updates", payload)
+        stats = self.server.resilience
+        try:
+            ref = yield from self.server.lookup_at(ctx, UPDATER_FACADE, target)
+            yield from ref.call(ctx, "apply_updates", payload)
+        except (RmiTimeout,) + RETRYABLE_ERRORS:
+            # The transaction already committed locally; a push that the
+            # RMI layer could not land just leaves this replica stale.
+            self.failed_pushes += 1
+            if stats is not None:
+                stats.sync_push_failures += 1
+                stats.dropped_updates += 1
+                stats.mark_stale(target.name, ctx.env.now)
+            return
+        if stats is not None:
+            stats.mark_fresh(target.name, ctx.env.now)
 
     # -- relaxed-consistency batching (§5) --------------------------------------
     def _staleness_bound_of(self, event: UpdateEvent) -> Optional[float]:

@@ -92,6 +92,10 @@ class HttpSessionStore:
     def discard(self, session_id: str) -> None:
         self._sessions.pop(session_id, None)
 
+    def clear(self) -> None:
+        """Drop every session (server-process crash); ``created`` survives."""
+        self._sessions.clear()
+
     def __len__(self) -> int:
         return len(self._sessions)
 

@@ -324,4 +324,21 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
         registry.counter("workload.failovers").inc(
             sum(client.failovers for client in generator.clients)
         )
+
+    # Resilience counters are emitted only when nonzero: a fault-free run
+    # produces a metrics snapshot byte-identical to one taken before the
+    # fault subsystem existed.
+    resilience = getattr(system, "resilience", None)
+    if resilience is not None:
+        resilience.finalize(system.env.now)
+        snapshot = resilience.to_dict()
+        staleness = snapshot.pop("staleness_ms")
+        for name in sorted(snapshot):
+            if snapshot[name]:
+                registry.counter(f"resilience.{name}").inc(snapshot[name])
+        for server_name in sorted(staleness):
+            if staleness[server_name]:
+                registry.gauge(f"resilience.staleness_ms.{server_name}").set(
+                    staleness[server_name]
+                )
     return registry

@@ -118,6 +118,12 @@ class TraceSummary:
     by_kind: Dict[str, int] = field(default_factory=dict)
     wide_area_by_kind: Dict[str, int] = field(default_factory=dict)
     remote_targets: Tuple[str, ...] = ()
+    # Resilience counters (nonzero only under fault injection); kept on
+    # the summary so parallel workers ship them home without the trace.
+    retries: int = 0
+    timeouts: int = 0
+    failovers: int = 0
+    dropped_updates: int = 0
 
     def wide_area_calls(self, kind: Optional[str] = None) -> int:
         if kind is not None:
@@ -130,10 +136,21 @@ class TraceSummary:
             f"{kind}={count}" for kind, count in sorted(self.by_kind.items())
         )
         wan = self.wide_area_calls()
-        return (
+        line = (
             f"{self.records} calls ({kinds or 'none'}), "
             f"{wan} wide-area, {self.dropped} dropped"
         )
+        # Only mention resilience events that actually happened, so the
+        # fault-free digest is unchanged.
+        for count, noun in (
+            (self.retries, "retries"),
+            (self.timeouts, "timeouts"),
+            (self.failovers, "failovers"),
+            (self.dropped_updates, "dropped updates"),
+        ):
+            if count:
+                line += f", {count} {noun}"
+        return line
 
 
 @dataclass

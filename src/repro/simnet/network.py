@@ -21,11 +21,30 @@ from .kernel import Environment, Event
 from .primitives import Resource
 from .router import BandwidthShaper, Counter, ElementChain, FixedDelay, Packet
 
-__all__ = ["Node", "Link", "Network", "NetworkError"]
+__all__ = ["Node", "Link", "Network", "NetworkError", "LinkDown"]
 
 
 class NetworkError(Exception):
     """Raised for malformed topologies or unroutable transfers."""
+
+
+class LinkDown(NetworkError):
+    """Raised when a transfer hits a partitioned link.
+
+    The fault-injection layer (:mod:`repro.faults`) partitions links for
+    scheduled windows; any transfer whose route crosses a downed link
+    fails at that hop.  Messages already past the hop complete normally —
+    the partition severs new hops, not in-flight bytes.
+    """
+
+    def __init__(self, link_name: str, src: str, dst: str, kind: str):
+        super().__init__(
+            f"link {link_name} is down: cannot carry {kind} traffic {src}->{dst}"
+        )
+        self.link_name = link_name
+        self.src = src
+        self.dst = dst
+        self.kind = kind
 
 
 class Node:
@@ -84,6 +103,63 @@ class Link:
             self._chains[(src, dst)] = ElementChain(
                 [Counter(), BandwidthShaper(env, bandwidth), FixedDelay(env, latency)]
             )
+        # -- fault-injection state (see repro.faults) --------------------
+        # ``faulted`` is the single flag the transfer hot path checks; the
+        # individual fields only matter once it is set, so fault-free runs
+        # pay one attribute test per hop and nothing else.
+        self.up = True
+        self.extra_latency = 0.0
+        self.latency_jitter = 0.0
+        self.loss_probability = 0.0
+        self.faulted = False
+        self._fault_rng = None  # random.Random for jitter/loss draws
+        self.dropped_packets = 0
+
+    # -- fault state (driven by repro.faults.injector) ----------------------
+    def _refresh_faulted(self) -> None:
+        self.faulted = (
+            not self.up
+            or self.extra_latency > 0.0
+            or self.latency_jitter > 0.0
+            or self.loss_probability > 0.0
+        )
+
+    def set_down(self, down: bool = True) -> None:
+        """Partition (or heal) the link in both directions."""
+        self.up = not down
+        self._refresh_faulted()
+
+    def set_latency_fault(self, extra_ms: float, jitter_ms: float = 0.0, rng=None) -> None:
+        """Add ``extra_ms`` (+- uniform ``jitter_ms``) to every hop."""
+        if extra_ms < 0 or jitter_ms < 0:
+            raise NetworkError("latency fault must be non-negative")
+        if jitter_ms > 0 and rng is None:
+            raise NetworkError("latency jitter needs a seeded rng")
+        self.extra_latency = extra_ms
+        self.latency_jitter = jitter_ms
+        if rng is not None:
+            self._fault_rng = rng
+        self._refresh_faulted()
+
+    def clear_latency_fault(self) -> None:
+        self.extra_latency = 0.0
+        self.latency_jitter = 0.0
+        self._refresh_faulted()
+
+    def set_loss(self, probability: float, rng) -> None:
+        """Drop each crossing packet with ``probability`` (seeded draws)."""
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError("loss probability must be within [0, 1]")
+        if probability > 0 and rng is None:
+            raise NetworkError("packet loss needs a seeded rng")
+        self.loss_probability = probability
+        if rng is not None:
+            self._fault_rng = rng
+        self._refresh_faulted()
+
+    def clear_loss(self) -> None:
+        self.loss_probability = 0.0
+        self._refresh_faulted()
 
     def chain(self, src: str, dst: str) -> ElementChain:
         try:
@@ -108,9 +184,10 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self._adjacency: Dict[str, List[Tuple[str, Link]]] = {}
         self._routes: Dict[Tuple[str, str], List[Link]] = {}
-        # (src, dst) -> ordered per-hop element chains; saves re-deriving
-        # hop direction and chain lookups on every transfer.
-        self._hop_chains: Dict[Tuple[str, str], List[ElementChain]] = {}
+        # (src, dst) -> ordered per-hop (link, chain) pairs; saves
+        # re-deriving hop direction and chain lookups on every transfer,
+        # and keeps the owning link at hand for fault-state checks.
+        self._hop_chains: Dict[Tuple[str, str], List[Tuple[Link, ElementChain]]] = {}
         self.total_transfers = 0
 
     # -- construction ------------------------------------------------------
@@ -139,6 +216,13 @@ class Network:
             return self.nodes[name]
         except KeyError:
             raise NetworkError(f"unknown node {name!r}") from None
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The direct link joining two adjacent nodes (fault targeting)."""
+        for neighbor, link in self._adjacency.get(a, ()):
+            if neighbor == b:
+                return link
+        raise NetworkError(f"no direct link between {a!r} and {b!r}")
 
     # -- routing -------------------------------------------------------------
     def route(self, src: str, dst: str) -> List[Link]:
@@ -198,18 +282,45 @@ class Network:
             return Packet(src, dst, size, kind, self.env.now, meta)
         self.total_transfers += 1
         packet = Packet(src, dst, size, kind, self.env.now, meta)
-        chains = self._hop_chains.get((src, dst))
-        if chains is None:
-            chains = []
+        hops = self._hop_chains.get((src, dst))
+        if hops is None:
+            hops = []
             hop_src = src
             for link in self.route(src, dst):
                 hop_dst = link.b.name if link.a.name == hop_src else link.a.name
-                chains.append(link.chain(hop_src, hop_dst))
+                hops.append((link, link.chain(hop_src, hop_dst)))
                 hop_src = hop_dst
-            self._hop_chains[(src, dst)] = chains
-        for chain in chains:
-            yield from chain.traverse(packet)
+            self._hop_chains[(src, dst)] = hops
+        for link, chain in hops:
+            if link.faulted:
+                yield from self._faulted_hop(link, chain, packet)
+            else:
+                yield from chain.traverse(packet)
         return packet
+
+    def _faulted_hop(self, link: Link, chain: ElementChain, packet: Packet):
+        """One hop over a link with active fault state (cold path).
+
+        Partition and loss are decided at hop entry — a message already
+        past the hop when the fault begins is unaffected.  Loss and
+        jitter draws come from the injector's named RNG streams, so runs
+        are byte-identical for a given master seed regardless of worker
+        count; fault-free links never draw at all.
+        """
+        from .router import PacketLoss
+
+        if not link.up:
+            raise LinkDown(link.name, packet.src, packet.dst, packet.kind)
+        if link.loss_probability > 0.0:
+            if link._fault_rng.random() < link.loss_probability:
+                link.dropped_packets += 1
+                raise PacketLoss(packet)
+        yield from chain.traverse(packet)
+        extra = link.extra_latency
+        if link.latency_jitter > 0.0:
+            extra += link._fault_rng.uniform(0.0, link.latency_jitter)
+        if extra > 0.0:
+            yield self.env.timeout(extra)
 
     # -- monitoring ---------------------------------------------------------
     def traffic_report(self) -> Dict[str, Dict[str, tuple]]:

@@ -21,7 +21,15 @@ from typing import Any, Callable, Deque, Dict, Generator, Optional, Tuple
 from .kernel import Environment, Event
 from .network import Network
 
-__all__ = ["Connection", "ConnectionPool", "TransportError", "SYN_SIZE", "ACK_SIZE"]
+__all__ = [
+    "Connection",
+    "ConnectionPool",
+    "TransportError",
+    "NodeUnavailable",
+    "RequestTimeout",
+    "SYN_SIZE",
+    "ACK_SIZE",
+]
 
 SYN_SIZE = 64
 ACK_SIZE = 64
@@ -29,6 +37,14 @@ ACK_SIZE = 64
 
 class TransportError(Exception):
     """Raised on misuse of a connection (e.g. request on a closed one)."""
+
+
+class NodeUnavailable(TransportError):
+    """Raised when a pool refuses to connect to a crashed node."""
+
+
+class RequestTimeout(TransportError):
+    """Raised when an exchange misses its client-side deadline."""
 
 
 class Connection:
@@ -50,10 +66,13 @@ class Connection:
         self.requests_sent = 0
         self.opened_at: Optional[float] = None
 
+    def _describe(self) -> str:
+        return f"{self.kind} connection {self.client}->{self.server}"
+
     def open(self) -> Generator[Event, None, "Connection"]:
         """Three-way handshake: one full round trip before data can flow."""
         if self.is_open:
-            raise TransportError("connection already open")
+            raise TransportError(f"{self._describe()} is already open")
         yield from self.network.transfer(self.client, self.server, SYN_SIZE, kind=self.kind)
         yield from self.network.transfer(self.server, self.client, ACK_SIZE, kind=self.kind)
         # The final ACK piggybacks on the first data segment; no extra wait.
@@ -71,6 +90,7 @@ class Connection:
         handler: Callable[[], Generator[Event, Any, Any]],
         response_size: Optional[int] = None,
         response_size_of: Optional[Callable[[Any], int]] = None,
+        deadline: Optional[float] = None,
     ) -> Generator[Event, Any, Any]:
         """One request/response exchange.
 
@@ -79,9 +99,20 @@ class Connection:
         value becomes this generator's return value.  The response size is
         either fixed (``response_size``) or derived from the handler result
         (``response_size_of``).
+
+        ``deadline`` (absolute sim time) models a client-side request
+        timeout: checked on entry and again when the response lands — the
+        kernel has no event cancellation, so a late response is paid for
+        in full and then discarded, exactly like a socket timeout firing
+        after the bytes arrived.  ``None`` (the default) never times out
+        and adds no events, keeping fault-free runs byte-identical.
         """
         if not self.is_open:
-            raise TransportError("request on a closed connection")
+            raise TransportError(f"request on a closed {self._describe()}")
+        if deadline is not None and self.env.now >= deadline:
+            raise RequestTimeout(
+                f"{self._describe()} deadline passed before the request was sent"
+            )
         self.requests_sent += 1
         yield from self.network.transfer(self.client, self.server, request_size, kind=self.kind)
         result = yield from handler()
@@ -90,8 +121,12 @@ class Connection:
         elif response_size is not None:
             size = response_size
         else:
-            raise TransportError("response size unspecified")
+            raise TransportError(f"response size unspecified on {self._describe()}")
         yield from self.network.transfer(self.server, self.client, size, kind=self.kind)
+        if deadline is not None and self.env.now > deadline:
+            raise RequestTimeout(
+                f"{self._describe()} response arrived after the deadline"
+            )
         return result
 
 
@@ -103,18 +138,35 @@ class ConnectionPool:
     paying the handshake — only when the pool is empty.
     """
 
-    def __init__(self, network: Network, kind: str, max_per_pair: int = 32):
+    def __init__(
+        self,
+        network: Network,
+        kind: str,
+        max_per_pair: int = 32,
+        availability: Optional[Callable[[str], bool]] = None,
+    ):
         if max_per_pair <= 0:
             raise ValueError("max_per_pair must be positive")
         self.network = network
         self.kind = kind
         self.max_per_pair = max_per_pair
+        # Optional liveness oracle (``server name -> up?``): when set, the
+        # pool refuses connections to crashed nodes up front instead of
+        # failing mid-exchange (see AppServer.crash).
+        self.availability = availability
         self._idle: Dict[Tuple[str, str], Deque[Connection]] = {}
         self.opened = 0
         self.reused = 0
+        self.refused = 0
 
     def checkout(self, client: str, server: str) -> Generator[Event, None, Connection]:
         """Borrow an open connection, creating one if necessary."""
+        if self.availability is not None and not self.availability(server):
+            self.refused += 1
+            raise NodeUnavailable(
+                f"{self.kind} connection {client}->{server} refused: "
+                f"node {server} is down"
+            )
         idle = self._idle.setdefault((client, server), deque())
         if idle:
             self.reused += 1
@@ -133,6 +185,17 @@ class ConnectionPool:
             connection.close()
         else:
             idle.append(connection)
+
+    def drop_connections_to(self, server: str) -> int:
+        """Close idle connections to ``server`` (its process died)."""
+        dropped = 0
+        for (_client, pooled_server), idle in self._idle.items():
+            if pooled_server != server:
+                continue
+            while idle:
+                idle.popleft().close()
+                dropped += 1
+        return dropped
 
     def exchange(
         self,

@@ -15,12 +15,18 @@ from typing import Generator, Optional
 
 from ..core.distribution import DeployedSystem
 from ..core.usage import UsagePattern
+from ..middleware.resilience import RETRYABLE_ERRORS, RmiTimeout
 from ..middleware.web import ServerUnavailable, WebRequest, http_get
 from ..simnet.kernel import Environment, Event, Timeout
 from ..simnet.monitor import ResponseTimeMonitor
 from ..simnet.rng import Streams
 
 __all__ = ["Client"]
+
+# Failures a browser reacts to by trying the other entry point: the
+# server refusing connections, an RMI call beneath the page timing out,
+# or the transport layer itself faulting mid-request.
+_REQUEST_FAULTS = (ServerUnavailable, RmiTimeout) + RETRYABLE_ERRORS
 
 _client_ids = itertools.count(1)
 
@@ -83,23 +89,44 @@ class Client:
                 # than a helper generator: one less frame per request and
                 # one less delegation hop for every resume beneath it.)
                 server = self.system.entry_server_for(self.client_node)
+                session_broken = False
                 try:
                     yield from http_get(
                         env, server, request, client_group=self.group
                     )
                     response_time = env.now - started
-                except ServerUnavailable:
+                except _REQUEST_FAULTS:
                     fallback = self.system.main
                     if fallback is server or not fallback.available:
                         response_time = None
                     else:
                         self.failovers += 1
-                        yield from http_get(
-                            env, fallback, request, client_group=self.group
-                        )
-                        response_time = env.now - started
+                        try:
+                            yield from http_get(
+                                env, fallback, request, client_group=self.group
+                            )
+                            response_time = env.now - started
+                        except _REQUEST_FAULTS:
+                            response_time = None
+                        except Exception:
+                            # The fallback answered with an application
+                            # error: conversational state (cart, bid
+                            # drafts) lived on the faulted edge, so the
+                            # replayed request is inconsistent there.
+                            response_time = None
+                            session_broken = True
+                except Exception:
+                    # The server itself answered with an application error
+                    # (a 500): under faults, earlier lost visits leave the
+                    # session's state inconsistent (e.g. committing a cart
+                    # whose additions never landed).  Never reached in
+                    # fault-free runs — every session is then consistent
+                    # by construction.
+                    response_time = None
+                    session_broken = True
                 if response_time is None:
-                    # Both entry points down: the visit is lost.
+                    # Both entry points down, or the session is broken:
+                    # the visit is lost.
                     self.errors += 1
                     response_time = env.now - started
                 else:
@@ -111,5 +138,9 @@ class Client:
                 remaining = self.think_time - response_time
                 if remaining > 0:
                     yield Timeout(env, remaining)
+                if session_broken:
+                    # The user gives up on this session and starts a new
+                    # one after the think time.
+                    break
             self.sessions_completed += 1
 

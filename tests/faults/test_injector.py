@@ -1,0 +1,139 @@
+"""The injector flips link/server fault state exactly inside its windows."""
+
+from repro.core.patterns import PatternLevel
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    FaultSchedule,
+    LatencySpike,
+    LinkPartition,
+    LossWindow,
+    ServerCrash,
+)
+from repro.simnet.rng import Streams
+from tests.helpers import tiny_system
+
+
+def _install(env, system, schedule, seed=1234):
+    return FaultInjector(schedule, Streams(seed)).install(env, system)
+
+
+def test_empty_schedule_installs_nothing():
+    env, system = tiny_system()
+    injector = _install(env, system, FaultSchedule())
+    env.run()
+    assert env.now == 0.0
+    assert injector.partitions_applied == 0
+    assert injector.skipped == 0
+
+
+def test_partition_window_takes_link_down_and_heals_it():
+    env, system = tiny_system()
+    link = system.testbed.network.link_between("router", "edge1")
+    injector = _install(
+        env,
+        system,
+        FaultSchedule(partitions=(LinkPartition("router", "edge1", 10.0, 20.0),)),
+    )
+    assert link.up and not link.faulted
+
+    env.run(until=15.0)
+    assert not link.up
+    assert link.faulted
+    assert injector.partitions_applied == 1
+
+    env.run(until=25.0)
+    assert link.up
+    assert not link.faulted
+
+
+def test_latency_spike_window_sets_and_clears_extra_latency():
+    env, system = tiny_system()
+    link = system.testbed.network.link_between("router", "edge1")
+    injector = _install(
+        env,
+        system,
+        FaultSchedule(
+            latency_spikes=(
+                LatencySpike(
+                    "router", "edge1", 10.0, 20.0, extra_ms=50.0, jitter_ms=5.0
+                ),
+            )
+        ),
+    )
+    env.run(until=15.0)
+    assert link.extra_latency == 50.0
+    assert link.latency_jitter == 5.0
+    assert link.faulted
+    assert injector.latency_spikes_applied == 1
+
+    env.run(until=25.0)
+    assert link.extra_latency == 0.0
+    assert not link.faulted
+
+
+def test_loss_window_sets_and_clears_probability():
+    env, system = tiny_system()
+    link = system.testbed.network.link_between("router", "edge1")
+    injector = _install(
+        env,
+        system,
+        FaultSchedule(
+            loss_windows=(LossWindow("router", "edge1", 10.0, 20.0, probability=0.5),)
+        ),
+    )
+    env.run(until=15.0)
+    assert link.loss_probability == 0.5
+    assert link.faulted
+    assert injector.loss_windows_applied == 1
+
+    env.run(until=25.0)
+    assert link.loss_probability == 0.0
+    assert not link.faulted
+
+
+def test_crash_window_takes_server_down_and_restarts_it():
+    env, system = tiny_system()
+    edge = system.servers["edge1"]
+    injector = _install(
+        env, system, FaultSchedule(crashes=(ServerCrash("edge1", 10.0, 20.0),))
+    )
+    env.run(until=15.0)
+    assert not edge.available
+    assert edge.crashes == 1
+    assert system.resilience.server_crashes == 1
+    assert injector.crashes_applied == 1
+
+    env.run(until=25.0)
+    assert edge.available
+
+
+def test_crash_of_undeployed_server_is_skipped_not_an_error():
+    # One scenario file must run unchanged across all five configurations,
+    # including plans that do not stand up the named server.
+    env, system = tiny_system(PatternLevel.CENTRALIZED)
+    injector = _install(
+        env,
+        system,
+        FaultSchedule(crashes=(ServerCrash("no-such-server", 10.0, 20.0),)),
+    )
+    env.run()
+    assert injector.skipped == 1
+    assert injector.crashes_applied == 0
+
+
+def test_injector_counts_every_window_once():
+    env, system = tiny_system()
+    schedule = FaultSchedule(
+        partitions=(
+            LinkPartition("router", "edge1", 10.0, 20.0),
+            LinkPartition("router", "edge2", 30.0, 40.0),
+        ),
+        latency_spikes=(
+            LatencySpike("router", "edge1", 50.0, 60.0, extra_ms=10.0),
+        ),
+    )
+    injector = _install(env, system, schedule)
+    env.run()
+    assert injector.partitions_applied == 2
+    assert injector.latency_spikes_applied == 1
+    assert injector.loss_windows_applied == 0

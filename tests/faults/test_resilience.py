@@ -1,0 +1,243 @@
+"""Middleware resilience under injected faults: RMI retries/timeouts, JMS
+redelivery and dead-lettering, staleness accounting, and crash recovery."""
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.faults.stats import ResilienceStats
+from repro.middleware.context import InvocationContext, RequestInfo
+from repro.middleware.resilience import RETRYABLE_ERRORS, RmiTimeout, backoff_delay
+from repro.middleware.web import WebRequest, http_get
+from repro.simnet.network import LinkDown
+from tests.helpers import run_process, tiny_system
+
+
+def _ctx(env, server, session="s1", client="client-main-0"):
+    return InvocationContext(
+        env=env,
+        server=server,
+        request=RequestInfo("Notes", "test", session, client),
+        costs=server.costs,
+        trace=server.trace,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pure helpers
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_delay_doubles_then_caps():
+    delays = [backoff_delay(50.0, 2000.0, attempt) for attempt in range(1, 9)]
+    assert delays == [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 2000.0, 2000.0]
+
+
+def test_backoff_delay_rejects_attempt_zero():
+    with pytest.raises(ValueError):
+        backoff_delay(50.0, 2000.0, 0)
+
+
+def test_retryable_errors_contains_link_down():
+    assert LinkDown in RETRYABLE_ERRORS
+
+
+def test_staleness_windows_open_once_and_close_once():
+    stats = ResilienceStats()
+    stats.mark_stale("edge1", 100.0)
+    stats.mark_stale("edge1", 150.0)  # no-op: window already open
+    stats.mark_fresh("edge1", 400.0)
+    assert stats.staleness_ms == {"edge1": 300.0}
+    stats.mark_fresh("edge1", 500.0)  # no-op: no open window
+    assert stats.staleness_ms == {"edge1": 300.0}
+
+
+def test_finalize_closes_open_windows_idempotently():
+    stats = ResilienceStats()
+    stats.mark_stale("edge1", 100.0)
+    stats.mark_stale("edge2", 200.0)
+    stats.finalize(1000.0)
+    stats.finalize(2000.0)  # idempotent: windows already closed
+    assert stats.staleness_ms == {"edge1": 900.0, "edge2": 800.0}
+    assert stats.total_staleness_ms == 1700.0
+
+
+def test_to_dict_is_canonical_and_sorted():
+    stats = ResilienceStats()
+    stats.rmi_retries = 2
+    stats.mark_stale("edge2", 0.0)
+    stats.mark_stale("edge1", 0.0)
+    stats.finalize(10.0)
+    snapshot = stats.to_dict()
+    assert snapshot["rmi_retries"] == 2
+    assert list(snapshot["staleness_ms"]) == ["edge1", "edge2"]
+
+
+# ---------------------------------------------------------------------------
+# RMI timeouts and retries
+# ---------------------------------------------------------------------------
+
+
+def _notes_request(session="s1"):
+    return WebRequest(
+        page="Notes",
+        params={"note_id": 1},
+        session_id=session,
+        client_node="client-edge1-0",
+    )
+
+
+def test_rmi_retries_exhaust_into_timeout():
+    """A partitioned WAN link turns a remote facade call into RmiTimeout
+    after the full retry budget, with every retry counted."""
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    edge = system.servers["edge1"]
+    link = system.testbed.network.link_between("router", "edge1")
+
+    # Warm run: populates the home cache so the next request reaches the
+    # retrying RemoteRef.call path instead of failing in the JNDI lookup.
+    response = run_process(env, http_get(env, edge, _notes_request()))
+    assert response.status == 200
+
+    link.set_down(True)
+
+    def failing():
+        try:
+            yield from http_get(env, edge, _notes_request("s2"))
+        except RmiTimeout as error:
+            return error
+        raise AssertionError("expected RmiTimeout")
+
+    error = run_process(env, failing())
+    assert error.attempts == edge.costs.rmi_max_retries + 1
+    assert error.src == "edge1" and error.dst == "main"
+    assert isinstance(error.__cause__, RETRYABLE_ERRORS)
+    stats = system.resilience
+    assert stats.rmi_retries == edge.costs.rmi_max_retries
+    assert stats.rmi_timeouts == 1
+
+
+def test_rmi_retry_succeeds_after_link_heals():
+    env, system = tiny_system(PatternLevel.REMOTE_FACADE)
+    edge = system.servers["edge1"]
+    link = system.testbed.network.link_between("router", "edge1")
+    run_process(env, http_get(env, edge, _notes_request()))  # warm the caches
+
+    link.set_down(True)
+
+    def heal():
+        # Backoffs run 50/100/200 ms, so the third attempt (~150 ms in)
+        # lands after the link is restored.
+        yield env.timeout(120.0)
+        link.set_down(False)
+
+    env.process(heal())
+    response = run_process(env, http_get(env, edge, _notes_request("s2")))
+    assert response.status == 200
+    assert response.data == {"text": "note text 1"}
+    stats = system.resilience
+    assert stats.rmi_retries >= 1
+    assert stats.rmi_timeouts == 0
+
+
+# ---------------------------------------------------------------------------
+# JMS redelivery, dead letters and replica staleness
+# ---------------------------------------------------------------------------
+
+
+def test_jms_dead_letters_and_staleness_under_partition():
+    env, system = tiny_system(PatternLevel.ASYNC_UPDATES)
+    system.warm_replicas()
+    main = system.main
+    link = system.testbed.network.link_between("router", "edge1")
+    link.set_down(True)  # never healed: every redelivery to edge1 fails
+    ctx = _ctx(env, main)
+
+    def write():
+        facade = yield from main.lookup(ctx, "NotesFacade")
+        yield from facade.call(ctx, "write_note", 1, "unreachable-v2")
+
+    run_process(env, write())  # drains the redelivery backoffs too
+
+    jms = main.jms
+    costs = main.costs
+    assert jms.redeliveries >= costs.jms_max_redeliveries
+    assert any(server == "edge1" for _topic, _msg, server in jms.dead_letters)
+    # edge2 is still reachable: its copy of the update must have landed.
+    assert all(server != "edge2" for _topic, _msg, server in jms.dead_letters)
+
+    stats = system.resilience
+    assert stats.jms_redeliveries == jms.redeliveries
+    assert stats.jms_dead_lettered == len(jms.dead_letters)
+    assert stats.dropped_updates >= 1
+    stats.finalize(env.now)
+    assert stats.staleness_ms.get("edge1", 0.0) > 0.0
+    assert stats.staleness_ms.get("edge2", 0.0) == 0.0
+
+
+def test_sync_push_failure_counts_dropped_update():
+    env, system = tiny_system(PatternLevel.STATEFUL_CACHING)
+    system.warm_replicas()
+    main = system.main
+    link = system.testbed.network.link_between("router", "edge1")
+    link.set_down(True)
+    ctx = _ctx(env, main)
+
+    def write():
+        facade = yield from main.lookup(ctx, "NotesFacade")
+        yield from facade.call(ctx, "write_note", 1, "half-delivered")
+
+    run_process(env, write())
+    stats = system.resilience
+    assert main.update_propagator.failed_pushes >= 1
+    assert stats.sync_push_failures == main.update_propagator.failed_pushes
+    assert stats.dropped_updates >= 1
+    stats.finalize(env.now)
+    assert stats.staleness_ms.get("edge1", 0.0) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Crash semantics
+# ---------------------------------------------------------------------------
+
+
+def test_crash_drains_volatile_state_and_restart_comes_back_cold():
+    env, system = tiny_system(PatternLevel.QUERY_CACHING)
+    system.warm_replicas()
+    edge = system.servers["edge1"]
+    replica = edge.readonly_container("Note")
+    run_process(env, http_get(env, edge, _notes_request("crash-session")))
+    assert replica.cached_keys()
+    # The tiny servlet is stateless; stash conversational state by hand.
+    edge.web_sessions.get("crash-session")["cart"] = ["note-1"]
+    assert len(edge.web_sessions) >= 1
+
+    edge.crash()
+    assert not edge.available
+    assert edge.crashes == 1
+    assert system.resilience.server_crashes == 1
+    assert not replica.cached_keys()
+    assert len(edge.web_sessions) == 0
+
+    edge.restart()
+    assert edge.available
+    # Cold restart: normal traffic refills the replica cache.
+    response = run_process(env, http_get(env, edge, _notes_request("s3")))
+    assert response.status == 200
+    assert replica.cached_keys()
+
+
+def test_http_get_refuses_a_crashed_server():
+    from repro.middleware.web import ServerUnavailable
+
+    env, system = tiny_system(PatternLevel.QUERY_CACHING)
+    edge = system.servers["edge1"]
+    edge.crash()
+
+    def probe():
+        try:
+            yield from http_get(env, edge, _notes_request())
+        except ServerUnavailable:
+            return "refused"
+        raise AssertionError("expected ServerUnavailable")
+
+    assert run_process(env, probe()) == "refused"

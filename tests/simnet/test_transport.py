@@ -149,3 +149,132 @@ def test_pool_cap_closes_extras(env, network):
         return second.is_open
 
     assert run_process(env, proc()) is False
+
+
+def test_transport_errors_name_the_pair_and_kind(env, network):
+    connection = Connection(network, "a", "b", kind="rmi")
+
+    def double_open():
+        yield from connection.open()
+        yield from connection.open()
+
+    with pytest.raises(TransportError, match=r"rmi connection a->b is already open"):
+        run_process(env, double_open())
+
+    closed = Connection(network, "a", "b", kind="jdbc")
+
+    def request_closed():
+        yield from closed.request(100, _noop_handler(env), response_size=100)
+
+    with pytest.raises(TransportError, match=r"closed jdbc connection a->b"):
+        run_process(env, request_closed())
+
+
+def test_request_deadline_checked_on_entry(env, network):
+    from repro.simnet.transport import RequestTimeout
+
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        yield env.timeout(50.0)
+        yield from connection.request(
+            100, _noop_handler(env), response_size=100, deadline=10.0
+        )
+
+    with pytest.raises(RequestTimeout, match="before the request was sent"):
+        run_process(env, proc())
+
+
+def test_request_deadline_checked_on_response(env, network):
+    from repro.simnet.transport import RequestTimeout
+
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        # The a<->b round trip alone is ~10 ms, so a 1 ms budget is
+        # guaranteed to be missed; the response is paid for, then discarded.
+        yield from connection.request(
+            100,
+            _noop_handler(env, work=5.0),
+            response_size=100,
+            deadline=env.now + 1.0,
+        )
+
+    with pytest.raises(RequestTimeout, match="after the deadline"):
+        run_process(env, proc())
+
+
+def test_no_deadline_never_times_out(env, network):
+    connection = Connection(network, "a", "b")
+
+    def proc():
+        yield from connection.open()
+        result = yield from connection.request(
+            100, _noop_handler(env, work=10_000.0), response_size=100
+        )
+        return result
+
+    assert run_process(env, proc()) == "result"
+
+
+def test_pool_refuses_connections_to_down_nodes(env, network):
+    from repro.simnet.transport import NodeUnavailable
+
+    down = {"b"}
+    pool = ConnectionPool(network, kind="rmi", availability=lambda node: node not in down)
+
+    def refused():
+        yield from pool.checkout("a", "b")
+
+    with pytest.raises(NodeUnavailable, match=r"rmi connection a->b refused: node b is down"):
+        run_process(env, refused())
+    assert pool.refused == 1
+    assert pool.opened == 0
+
+    down.clear()
+
+    def allowed():
+        connection = yield from pool.checkout("a", "b")
+        pool.checkin(connection)
+        return connection.is_open
+
+    assert run_process(env, allowed()) is True
+    assert pool.opened == 1
+
+
+def test_pool_reuse_after_close_opens_fresh(env, network):
+    pool = ConnectionPool(network, kind="rmi")
+
+    def proc():
+        first = yield from pool.checkout("a", "b")
+        first.close()
+        pool.checkin(first)  # closed connections are not pooled
+        second = yield from pool.checkout("a", "b")
+        pool.checkin(second)
+        return first is second
+
+    assert run_process(env, proc()) is False
+    assert pool.opened == 2
+    assert pool.reused == 0
+
+
+def test_drop_connections_to_closes_idle(env, network):
+    pool = ConnectionPool(network, kind="rmi")
+
+    def proc():
+        to_b = yield from pool.checkout("a", "b")
+        to_c = yield from pool.checkout("b", "c")
+        pool.checkin(to_b)
+        pool.checkin(to_c)
+        dropped = pool.drop_connections_to("b")
+        fresh = yield from pool.checkout("a", "b")
+        pool.checkin(fresh)
+        return dropped, to_b.is_open, to_c.is_open, fresh is to_b
+
+    dropped, b_open, c_open, reused_dead = run_process(env, proc())
+    assert dropped == 1
+    assert b_open is False
+    assert c_open is True  # only connections *to* b are dropped
+    assert reused_dead is False
