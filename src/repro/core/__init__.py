@@ -1,17 +1,30 @@
-"""The paper's contribution layer: patterns, planning, automation, rules.
+"""The paper's contribution layer: patterns, policies, planning, rules.
 
 Typical use::
 
     from repro.core import PatternLevel, distribute
     system = distribute(env, testbed, application, PatternLevel.QUERY_CACHING, db)
+
+or, with an explicit placement policy::
+
+    from repro.core import load_policy, distribute
+    policy = load_policy("policies/replicas-one-edge.json")
+    system = distribute(env, testbed, application, policy, db)
 """
 
-from .automation import AutomationReport, configure_for_level
+from .automation import AutomationReport, apply_policy, configure_for_level
 from .distribution import DeployedSystem, distribute
 from .mutable import MutableServiceManager, RedeploymentAction
 from .patterns import PATTERN_CATALOG, PatternInfo, PatternLevel, level_name
 from .planner import DeploymentPlan, PlanError, plan_deployment
-from .rules import DesignRuleChecker, RuleReport, RuleViolation
+from .policy import (
+    ComponentPolicy,
+    PlacementPolicy,
+    PolicyError,
+    level_policy,
+    load_policy,
+)
+from .rules import DesignRuleChecker, RuleReport, RuleViolation, precheck
 from .usage import (
     PageVisit,
     PatternError,
@@ -22,9 +35,16 @@ from .usage import (
 
 __all__ = [
     "AutomationReport",
+    "apply_policy",
     "configure_for_level",
     "DeployedSystem",
     "distribute",
+    "ComponentPolicy",
+    "PlacementPolicy",
+    "PolicyError",
+    "level_policy",
+    "load_policy",
+    "precheck",
     "MutableServiceManager",
     "RedeploymentAction",
     "PATTERN_CATALOG",

@@ -1,26 +1,32 @@
-"""Pattern-implementation automation (§5).
+"""Pattern-implementation automation (§5), driven by placement policies.
 
 The paper argues the read-mostly and query-caching machinery should be
 supplied by containers, configured purely from *extended deployment
 descriptors*.  This module is that container-provider role: given an
 application whose descriptors declare read-mostly beans and cacheable
-queries, it
+queries, and a :class:`~repro.core.policy.PlacementPolicy` stating which
+of those declarations are active and how updates propagate, it
 
-* filters the extended descriptors to the active :class:`PatternLevel`
-  (replicas only exist from level 3, query caches from level 4),
-* switches the update mode to asynchronous at level 5,
-* registers the auxiliary system components (``UpdaterFacade``
-  everywhere, ``UpdateSubscriber`` MDBs at level 5) so that "developers
-  are freed from implementing tricky update mechanisms that require the
-  deployment of additional auxiliary components".
+* strips read-mostly descriptors the policy gives no replica placements
+  (they exist in the application, but this deployment does not use them),
+* strips query caches when the policy activates no cache servers,
+* switches the update mode of the surviving extended descriptors to the
+  policy's propagation mode (sync push vs. JMS async),
+* registers the auxiliary system components (``UpdaterFacade`` wherever
+  maintenance traffic flows, ``UpdateSubscriber`` MDBs under
+  asynchronous propagation) so that "developers are freed from
+  implementing tricky update mechanisms that require the deployment of
+  additional auxiliary components".
 
 Application code never references these auxiliaries explicitly.
+:func:`configure_for_level` survives as a thin compatibility wrapper
+that compiles the canned policy for a pattern level and applies it.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Union
 
 from ..middleware.descriptors import (
     ApplicationDescriptor,
@@ -34,8 +40,9 @@ from ..middleware.updates import (
     updater_facade_descriptor,
 )
 from .patterns import PatternLevel
+from .policy import PlacementPolicy, level_policy
 
-__all__ = ["configure_for_level", "AutomationReport"]
+__all__ = ["apply_policy", "configure_for_level", "AutomationReport"]
 
 
 class AutomationReport:
@@ -60,20 +67,20 @@ class AutomationReport:
         )
 
 
-def configure_for_level(
-    application: ApplicationDescriptor, level: PatternLevel
+def apply_policy(
+    application: ApplicationDescriptor, policy: PlacementPolicy
 ) -> AutomationReport:
-    """Adjust ``application`` (in place) to the given pattern level."""
-    level = PatternLevel(level)
+    """Adjust ``application`` (in place) to the given placement policy."""
     report = AutomationReport()
-    mode = UpdateMode.ASYNC if level >= PatternLevel.ASYNC_UPDATES else UpdateMode.SYNC
+    mode = policy.update_mode
     report.mode = mode
 
     # -- read-mostly entity beans -------------------------------------------
     for name, descriptor in list(application.components.items()):
         if descriptor.read_mostly is None:
             continue
-        if level < PatternLevel.STATEFUL_CACHING:
+        component_policy = policy.components.get(name)
+        if component_policy is None or not component_policy.replicas:
             descriptor.read_mostly = None
             report.read_mostly_stripped.append(name)
         else:
@@ -81,7 +88,7 @@ def configure_for_level(
             report.read_mostly_active.append(name)
 
     # -- query caches -----------------------------------------------------------
-    if level < PatternLevel.QUERY_CACHING:
+    if not policy.query_caches:
         report.query_caches_stripped.extend(application.query_caches)
         application.query_caches = {}
     else:
@@ -92,12 +99,23 @@ def configure_for_level(
         application.query_caches = adjusted
 
     # -- auxiliary system components ------------------------------------------
-    if level >= PatternLevel.STATEFUL_CACHING and UPDATER_FACADE not in application.components:
+    needs_maintenance = bool(report.read_mostly_active) or bool(
+        report.query_caches_active
+    )
+    if needs_maintenance and UPDATER_FACADE not in application.components:
         application.add(updater_facade_descriptor())
         report.auxiliaries_added.append(UPDATER_FACADE)
-    if level >= PatternLevel.ASYNC_UPDATES and UPDATE_SUBSCRIBER not in application.components:
+    if policy.async_updates and UPDATE_SUBSCRIBER not in application.components:
         application.add(update_subscriber_descriptor())
         report.auxiliaries_added.append(UPDATE_SUBSCRIBER)
 
     application.validate()
     return report
+
+
+def configure_for_level(
+    application: ApplicationDescriptor, level: Union[PatternLevel, int]
+) -> AutomationReport:
+    """Compatibility wrapper: compile the canned policy for ``level`` and
+    apply it (the pre-policy-layer entry point)."""
+    return apply_policy(application, level_policy(PatternLevel(level), application))

@@ -1,9 +1,10 @@
 """Deployment orchestration: build a running distributed system.
 
 ``distribute()`` is the library's top-level entry point: given a testbed,
-an application descriptor, a pattern level, and a populated database, it
-returns a :class:`DeployedSystem` with application servers stood up on
-their nodes, containers instantiated and wired, replicas and caches
+an application descriptor, a placement policy (or a pattern level, which
+compiles to its canned policy), and a populated database, it returns a
+:class:`DeployedSystem` with application servers stood up on their
+nodes, containers instantiated and wired, replicas and caches
 registered, the JMS provider and update propagator configured — ready
 for clients to issue page requests against.
 """
@@ -11,7 +12,7 @@ for clients to issue page requests against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..faults.stats import ResilienceStats
 from ..middleware.costs import MiddlewareCosts
@@ -26,9 +27,10 @@ from ..rdbms.server import DatabaseServer, DbCostModel
 from ..simnet.kernel import Environment
 from ..simnet.monitor import Trace
 from ..simnet.topology import Testbed
-from .automation import AutomationReport, configure_for_level
+from .automation import AutomationReport, apply_policy
 from .patterns import PatternLevel
 from .planner import DeploymentPlan, plan_deployment
+from .policy import PlacementPolicy, level_policy
 
 __all__ = ["DeployedSystem", "distribute"]
 
@@ -49,6 +51,7 @@ class DeployedSystem:
     spans: Optional["SpanRecorder"] = None
     metrics: Optional["MetricsRegistry"] = None
     resilience: Optional[ResilienceStats] = None
+    policy: Optional[PlacementPolicy] = None
 
     @property
     def main(self) -> AppServer:
@@ -68,13 +71,16 @@ class DeployedSystem:
     def entry_server_for(self, client_node: str) -> AppServer:
         """Where the client actually connects.
 
-        In the centralized configuration "the main server got all 30 HTTP
-        requests per second, whereas the edge servers were not used at
-        all" (§4.1); otherwise clients use the server on their LAN.
+        Clients use the server on their LAN when the plan marks it as an
+        entry server (it hosts the complete web tier); otherwise they
+        cross the WAN to the main server — in the centralized
+        configuration "the main server got all 30 HTTP requests per
+        second, whereas the edge servers were not used at all" (§4.1).
         """
-        if self.level == PatternLevel.CENTRALIZED:
-            return self.main
-        return self.server_for_client(client_node)
+        server = self.server_for_client(client_node)
+        if server.name in self.plan.entry_servers:
+            return server
+        return self.main
 
     def warm_replicas(self) -> int:
         """Preload every read-only replica with current database state.
@@ -131,7 +137,7 @@ def distribute(
     env: Environment,
     testbed: Testbed,
     application: ApplicationDescriptor,
-    level: PatternLevel,
+    policy: Union[PlacementPolicy, PatternLevel, int],
     database: Database,
     costs: Optional[MiddlewareCosts] = None,
     db_cost_model: Optional[DbCostModel] = None,
@@ -139,16 +145,23 @@ def distribute(
     spans: Optional[SpanRecorder] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> DeployedSystem:
-    """Deploy ``application`` across the testbed at the given pattern level."""
-    level = PatternLevel(level)
+    """Deploy ``application`` across the testbed under ``policy``.
+
+    ``policy`` is a :class:`PlacementPolicy`; a bare
+    :class:`PatternLevel` (or int) selects the matching canned policy,
+    which is how the paper's five configurations run.
+    """
+    if not isinstance(policy, PlacementPolicy):
+        policy = level_policy(PatternLevel(policy), application)
+    level = policy.effective_level()
     costs = costs or MiddlewareCosts()
 
-    # 1. Extended-descriptor automation (§5) tailors the app to the level.
-    automation = configure_for_level(application, level)
+    # 1. Extended-descriptor automation (§5) tailors the app to the policy.
+    automation = apply_policy(application, policy)
 
     # 2. Placement.
     plan = plan_deployment(
-        application, testbed.main_server, list(testbed.edge_servers), level
+        application, testbed.main_server, list(testbed.edge_servers), policy
     )
 
     # 3. Database server on its node.
@@ -229,8 +242,8 @@ def distribute(
         descriptor = application.components[name]
         if descriptor.kind != ComponentKind.MESSAGE_DRIVEN:
             continue
-        if level < PatternLevel.ASYNC_UPDATES and descriptor.topic == UPDATE_TOPIC:
-            continue  # the subscriber exists but is idle below level 5
+        if not policy.async_updates and descriptor.topic == UPDATE_TOPIC:
+            continue  # the subscriber exists but is idle under sync push
         for server_name in placement:
             topic = jms.topic(descriptor.topic)
             topic.subscribe(servers[server_name], servers[server_name].container(name))
@@ -248,4 +261,5 @@ def distribute(
         spans=spans,
         metrics=metrics,
         resilience=resilience,
+        policy=policy,
     )

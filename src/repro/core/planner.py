@@ -1,32 +1,39 @@
-"""Deployment planning: which component goes on which server at each level.
+"""Deployment planning: resolve a placement policy onto a testbed.
 
-The planner encodes the paper's placement rules:
+``plan_deployment`` is a pure function from a
+:class:`~repro.core.policy.PlacementPolicy` plus a concrete topology
+(main server, edge list) to a :class:`DeploymentPlan`.  The paper's five
+configurations arrive here as canned policies compiled by
+:func:`~repro.core.policy.level_policy`; a hand-written policy file
+arrives exactly the same way, so the planner has no notion of "levels"
+beyond the metadata it copies into the plan for table labels.
 
-* **Level 1** (centralized): everything on the main server.
-* **Level ≥ 2**: web components and stateful session beans replicate to
-  every server ("session-oriented stateful components ... can be
-  deployed in edge servers for better locality"); shared stateful
-  components and their façades stay with the database.
-* **Level ≥ 3**: read-only replicas of read-mostly entity beans deploy
-  on *all* servers (the main server benefits too — "slightly improved
-  for the local browser due to read-only bean caching versus database
-  access"), along with any stateless façade whose descriptor marks it
-  edge-deployable from this level (Pet Store's ``Catalog``, RUBiS's
-  ``SB_View*`` beans).
-* **Level ≥ 4**: query caches activate on every server.
-* **Level 5**: ``UpdateSubscriber`` MDBs deploy wherever replicas live.
+For backward compatibility a bare :class:`PatternLevel` (or int) is
+still accepted and compiled on the fly.
 
 A façade plus its co-located domain entities is the paper's "unit of
-distribution"; the plan realizes exactly that granularity.
+distribution"; the plan realizes exactly that granularity.  The plan
+also records *entry servers* — the servers hosting the complete web
+tier, where clients may connect; clients whose local server is not an
+entry server fall back to the main server (the centralized
+configuration "the main server got all 30 HTTP requests per second,
+whereas the edge servers were not used at all", §4.1).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
 
 from ..middleware.descriptors import ApplicationDescriptor, ComponentKind
 from .patterns import PatternLevel
+from .policy import (
+    ComponentPolicy,
+    PlacementPolicy,
+    PolicyError,
+    level_policy,
+    resolve_selectors,
+)
 
 __all__ = ["DeploymentPlan", "plan_deployment", "PlanError"]
 
@@ -45,6 +52,10 @@ class DeploymentPlan:
     placements: Dict[str, List[str]] = field(default_factory=dict)
     replicas: Dict[str, List[str]] = field(default_factory=dict)
     query_cache_servers: List[str] = field(default_factory=list)
+    # Servers hosting the complete web tier; clients elsewhere use main.
+    entry_servers: List[str] = field(default_factory=list)
+    # The policy this plan realizes (None only for hand-built plans).
+    policy: Optional[PlacementPolicy] = None
 
     @property
     def all_servers(self) -> List[str]:
@@ -62,14 +73,19 @@ class DeploymentPlan:
         )
 
     def describe(self) -> str:
-        lines = [f"deployment plan (level {int(self.level)}: {self.level.name})"]
+        policy_name = self.policy.name if self.policy is not None else "?"
+        lines = [
+            f"deployment plan (policy {policy_name!r}, "
+            f"level {int(self.level)}: {self.level.name})"
+        ]
         for server in self.all_servers:
             components = self.components_on(server)
             replica_names = sorted(
                 name for name, servers in self.replicas.items() if server in servers
             )
+            entry = " [entry]" if server in self.entry_servers else ""
             lines.append(
-                f"  {server}: {', '.join(components) or '-'}"
+                f"  {server}{entry}: {', '.join(components) or '-'}"
                 + (f" | replicas: {', '.join(replica_names)}" if replica_names else "")
             )
         if self.query_cache_servers:
@@ -77,46 +93,91 @@ class DeploymentPlan:
         return "\n".join(lines)
 
 
+def _default_component_policy(
+    descriptor, policy: PlacementPolicy
+) -> ComponentPolicy:
+    """Placement for components the policy does not mention.
+
+    The auxiliary maintenance components (``UpdaterFacade``,
+    ``UpdateSubscriber``) follow the replica/cache placements they
+    serve; anything else stays on the main server.
+    """
+    from ..middleware.updates import UPDATE_SUBSCRIBER, UPDATER_FACADE
+
+    if descriptor.name == UPDATER_FACADE:
+        return ComponentPolicy(deploy=policy.maintenance_selectors())
+    if descriptor.name == UPDATE_SUBSCRIBER and policy.async_updates:
+        return ComponentPolicy(deploy=policy.maintenance_selectors())
+    return ComponentPolicy(deploy=("main",))
+
+
 def plan_deployment(
     application: ApplicationDescriptor,
     main: str,
     edges: List[str],
-    level: PatternLevel,
+    policy: Union[PlacementPolicy, PatternLevel, int],
 ) -> DeploymentPlan:
-    """Compute the placement for ``application`` at ``level``.
+    """Resolve ``policy`` onto the (main, edges) topology.
 
-    Call *after* :func:`repro.core.automation.configure_for_level`, so
-    extended descriptors already reflect the level.
+    Call *after* :func:`repro.core.automation.apply_policy`, so extended
+    descriptors already reflect the policy.  Passing a
+    :class:`PatternLevel` compiles the matching canned policy first.
     """
-    level = PatternLevel(level)
-    plan = DeploymentPlan(level=level, main=main, edges=list(edges))
-    everywhere = plan.all_servers
+    if not isinstance(policy, PlacementPolicy):
+        policy = level_policy(PatternLevel(policy), application)
+    try:
+        policy.validate_against(application)
+    except PolicyError as exc:
+        raise PlanError(str(exc)) from None
+
+    plan = DeploymentPlan(
+        level=policy.effective_level(), main=main, edges=list(edges), policy=policy
+    )
 
     for name, descriptor in application.components.items():
-        if descriptor.kind in (ComponentKind.SERVLET, ComponentKind.STATEFUL_SESSION):
-            placement = [main] if level < PatternLevel.REMOTE_FACADE else list(everywhere)
-        elif descriptor.kind == ComponentKind.STATELESS_SESSION:
-            placement = [main]
-            threshold = descriptor.edge_from_level
-            if threshold is not None and level >= threshold:
-                placement = list(everywhere)
-        elif descriptor.kind == ComponentKind.ENTITY:
-            placement = [main]
-            if descriptor.read_mostly is not None:
-                plan.replicas[name] = list(everywhere)
-        elif descriptor.kind == ComponentKind.MESSAGE_DRIVEN:
-            # Update subscribers live wherever replicas or caches live.
-            placement = list(everywhere) if level >= PatternLevel.ASYNC_UPDATES else [main]
-        else:  # pragma: no cover - enum is closed
-            raise PlanError(f"unplaceable component kind {descriptor.kind}")
-        plan.placements[name] = placement
+        component_policy = policy.components.get(name)
+        if component_policy is None:
+            component_policy = _default_component_policy(descriptor, policy)
+        try:
+            placement = resolve_selectors(component_policy.deploy, main, edges)
+            if descriptor.kind == ComponentKind.ENTITY and component_policy.replicas:
+                if descriptor.read_mostly is not None:
+                    plan.replicas[name] = resolve_selectors(
+                        component_policy.replicas, main, edges
+                    )
+            plan.placements[name] = placement
+        except PolicyError as exc:
+            raise PlanError(f"component {name!r}: {exc}") from None
 
-    if level >= PatternLevel.QUERY_CACHING and application.query_caches:
-        plan.query_cache_servers = list(everywhere)
+    if policy.query_caches and application.query_caches:
+        try:
+            plan.query_cache_servers = resolve_selectors(
+                policy.query_caches, main, edges
+            )
+        except PolicyError as exc:
+            raise PlanError(f"query caches: {exc}") from None
+
+    # Entry servers: every server hosting the complete web tier.
+    servlet_components = set(application.servlets.values())
+    plan.entry_servers = [
+        server
+        for server in plan.all_servers
+        if all(
+            server in plan.placements.get(component, ())
+            for component in servlet_components
+        )
+    ]
 
     # Sanity: every page's servlet must exist wherever clients connect.
     for page, servlet in application.servlets.items():
         if main not in plan.placements.get(servlet, []):
             raise PlanError(f"servlet {servlet!r} for page {page!r} missing on main")
+    # Sanity: read-write entity state is single-master on the main server.
+    for name, descriptor in application.components.items():
+        if descriptor.kind == ComponentKind.ENTITY:
+            if plan.placements.get(name) != [main]:
+                raise PlanError(
+                    f"entity {name!r} must live exactly on the main server"
+                )
 
     return plan

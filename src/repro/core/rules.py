@@ -12,13 +12,23 @@ run, producing a structured report:
 * **R2 — one wide-area call per page**: serving any page incurs at most
   ``max_wan_calls_per_request`` wide-area RMI/JDBC calls (the paper's
   stated exception: Verify Signin makes two).
-* **R3 — session state at the edge**: at level ≥ 2, session-oriented
-  state is created on the server the client connects to, never fetched
-  across the WAN.
-* **R4 — shared read-mostly state cached at the edge**: at level ≥ 3,
-  read-only replicas serve a healthy fraction of entity reads locally.
-* **R5 — no blocking wide-area writes**: at level 5, transaction commits
-  never block on synchronous WAN pushes.
+* **R3 — session state at the edge**: session-oriented state is created
+  on the server the client connects to (every *entry server*), never
+  fetched across the WAN.
+* **R4 — shared read-mostly state cached at the edge**: wherever the
+  policy places read-only replicas, they serve a healthy fraction of
+  entity reads locally.
+* **R5 — no blocking wide-area writes**: under asynchronous update
+  propagation, transaction commits never block on synchronous WAN
+  pushes.
+
+Which rules apply is derived from the *deployment itself* — does the
+plan distribute the web tier beyond the main server, does it place
+replicas, does the policy propagate updates asynchronously — not from a
+pattern-level comparison, so hand-written policies are checked by
+exactly the same machinery as the paper's five configurations.
+:func:`precheck` runs the static subset (R1, R3) against a plan alone,
+before any simulation.
 """
 
 from __future__ import annotations
@@ -26,12 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..middleware.descriptors import ApplicationDescriptor
 from ..obs.spans import SpanRecorder, build_trees, client_path_wan_calls
 from ..simnet.monitor import Trace
 from .distribution import DeployedSystem
 from .patterns import PatternLevel
+from .planner import DeploymentPlan
 
-__all__ = ["RuleViolation", "RuleReport", "DesignRuleChecker"]
+__all__ = ["RuleViolation", "RuleReport", "DesignRuleChecker", "precheck"]
 
 
 @dataclass
@@ -91,13 +103,20 @@ class DesignRuleChecker:
         trace = trace if trace is not None else self.system.trace
         spans = spans if spans is not None else self.system.spans
         report = RuleReport(level=self.system.level)
+        plan = self.system.plan
+        policy = self.system.policy or plan.policy
         self._check_r1(report, trace)
-        if self.system.level >= PatternLevel.REMOTE_FACADE:
+        if _web_tier_distributed(plan):
             self._check_r2(report, trace, spans)
             self._check_r3(report)
-        if self.system.level >= PatternLevel.STATEFUL_CACHING:
+        if plan.replicas:
             self._check_r4(report)
-        if self.system.level >= PatternLevel.ASYNC_UPDATES:
+        asynchronous = (
+            policy.async_updates
+            if policy is not None
+            else self.system.level >= PatternLevel.ASYNC_UPDATES
+        )
+        if asynchronous:
             self._check_r5(report)
         return report
 
@@ -105,16 +124,7 @@ class DesignRuleChecker:
     def _check_r1(self, report: RuleReport, trace: Optional[Trace]) -> None:
         report.checked_rules.append("R1")
         application = self.system.application
-        for name, descriptor in application.components.items():
-            if descriptor.is_entity and descriptor.remote_interface:
-                report.violations.append(
-                    RuleViolation(
-                        "R1",
-                        name,
-                        "entity bean exposes a remote interface; entities must be "
-                        "local-only so web tiers cannot bypass façades",
-                    )
-                )
+        _static_r1(report, application)
         if trace is None:
             return
         for record in trace.wide_area_calls("rmi"):
@@ -210,26 +220,16 @@ class DesignRuleChecker:
     # -- R3 -----------------------------------------------------------------
     def _check_r3(self, report: RuleReport) -> None:
         report.checked_rules.append("R3")
-        plan = self.system.plan
-        for name, descriptor in self.system.application.components.items():
-            if descriptor.kind.value in ("stateful-session", "servlet"):
-                placed = set(plan.servers_of(name))
-                missing = [e for e in plan.edges if e not in placed]
-                if missing:
-                    report.violations.append(
-                        RuleViolation(
-                            "R3",
-                            name,
-                            f"session-oriented component missing from edge "
-                            f"server(s) {missing} at level >= 2",
-                        )
-                    )
+        _static_r3(report, self.system.application, self.system.plan)
 
     # -- R4 -----------------------------------------------------------------
     def _check_r4(self, report: RuleReport) -> None:
         report.checked_rules.append("R4")
+        plan = self.system.plan
         for server in self.system.edges:
-            for name in self.system.plan.replicas:
+            for name, replica_servers in plan.replicas.items():
+                if server.name not in replica_servers:
+                    continue  # the policy does not cache here
                 container = server.readonly_container(name)
                 if container is None:
                     report.violations.append(
@@ -267,6 +267,64 @@ class DesignRuleChecker:
                     "R5",
                     "UpdatePropagator",
                     f"{propagator.sync_pushes} commits blocked on synchronous "
-                    "WAN pushes at level 5",
+                    "WAN pushes under an asynchronous-update policy",
                 )
             )
+
+
+# -- static (pre-run) checking ------------------------------------------------
+
+def _web_tier_distributed(plan: DeploymentPlan) -> bool:
+    """True when clients connect anywhere beyond the main server."""
+    return any(server != plan.main for server in plan.entry_servers)
+
+
+def _static_r1(report: RuleReport, application: ApplicationDescriptor) -> None:
+    for name, descriptor in application.components.items():
+        if descriptor.is_entity and descriptor.remote_interface:
+            report.violations.append(
+                RuleViolation(
+                    "R1",
+                    name,
+                    "entity bean exposes a remote interface; entities must be "
+                    "local-only so web tiers cannot bypass façades",
+                )
+            )
+
+
+def _static_r3(
+    report: RuleReport, application: ApplicationDescriptor, plan: DeploymentPlan
+) -> None:
+    for name, descriptor in application.components.items():
+        if descriptor.kind.value in ("stateful-session", "servlet"):
+            placed = set(plan.servers_of(name))
+            missing = [s for s in plan.entry_servers if s not in placed]
+            if missing:
+                report.violations.append(
+                    RuleViolation(
+                        "R3",
+                        name,
+                        f"session-oriented component missing from entry "
+                        f"server(s) {missing}",
+                    )
+                )
+
+
+def precheck(
+    application: ApplicationDescriptor, plan: DeploymentPlan
+) -> RuleReport:
+    """Static design-rule check of a plan, before any simulation.
+
+    Covers the rules decidable from descriptors and placements alone:
+    R1 (entity beans must not expose remote interfaces) and — when the
+    plan distributes the web tier — R3 (session-oriented components
+    present on every entry server).  The trace-driven rules (R2, R4, R5)
+    need a run and stay with :class:`DesignRuleChecker`.
+    """
+    report = RuleReport(level=plan.level)
+    report.checked_rules.append("R1")
+    _static_r1(report, application)
+    if _web_tier_distributed(plan):
+        report.checked_rules.append("R3")
+        _static_r3(report, application, plan)
+    return report

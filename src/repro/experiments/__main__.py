@@ -20,6 +20,21 @@ Chrome trace-event JSON (load it in Perfetto or ``chrome://tracing``)
 with one span tree per client page request; ``--metrics-out`` writes
 per-cell metrics-registry snapshots.  Both artifacts are byte-identical
 for any ``--jobs`` value too.
+
+Beyond the paper's grid::
+
+    python -m repro.experiments table6 --edges 4 --wan-latency 50
+    python -m repro.experiments table7 --policy policies/replicas-one-edge.json
+    python -m repro.experiments plan --app petstore --level 3
+    python -m repro.experiments plan --policy my-policy.json --edges 3
+
+``--policy FILE`` swaps the canned pattern-level configurations for a
+declarative placement policy (see ``repro.core.policy``); the run then
+covers that single configuration per app.  ``--edges`` / ``--wan-latency``
+/ ``--clients-per-group`` override the calibrated testbed.  The ``plan``
+target resolves a policy onto the testbed and prints the deployment plan,
+the resolved policy JSON, and the static design-rule precheck — without
+running any simulation.
 """
 
 from __future__ import annotations
@@ -28,12 +43,14 @@ import argparse
 import sys
 
 from ..core.patterns import PatternLevel
+from ..core.policy import PolicyError, load_policy
 from ..faults.report import (
     availability_to_json,
     build_availability_table,
     render_availability_table,
 )
 from ..faults.scenarios import SCENARIOS, load_schedule
+from ..simnet.topology import TopologyOverrides
 from .calibration import SIM_DURATION_MS, SIM_WARMUP_MS, default_workload
 from .figures import build_figure, figure_to_csv, render_figure
 from .parallel import default_jobs, run_cells
@@ -48,6 +65,7 @@ TARGETS = {
     "figure8": ("rubis", "figure"),
 }
 ABLATION_TARGET = "ablations"
+PLAN_TARGET = "plan"
 
 
 def _export_observability(args, series_cache, apps_needed, levels) -> None:
@@ -90,6 +108,87 @@ def _export_observability(args, series_cache, apps_needed, levels) -> None:
         print(f"[metrics] wrote {args.metrics_out}", file=sys.stderr)
 
 
+def _run_plan(args, policy, topology) -> int:
+    """The ``plan`` target: resolve and print, no simulation.
+
+    For each requested application, builds the app, applies the policy
+    (the ``--policy`` file, or the canned policy for ``--level``),
+    resolves it onto the (possibly overridden) testbed, and prints the
+    deployment plan, the resolved policy JSON, and the static design-rule
+    precheck.  Returns non-zero when the precheck finds violations.
+    """
+    from ..core.automation import apply_policy
+    from ..core.planner import PlanError, plan_deployment
+    from ..core.policy import level_policy
+    from ..core.rules import precheck
+    from ..simnet.kernel import Environment
+    from ..simnet.rng import Streams
+    from .runner import APPS
+
+    if policy is not None and args.app is None:
+        print(
+            "[plan] a policy file names one application's components; "
+            "pick it with --app",
+            file=sys.stderr,
+        )
+        return 2
+    apps = [args.app] if args.app else sorted(APPS)
+    if policy is not None:
+        levels = [policy.effective_level()]
+    else:
+        levels = (
+            [PatternLevel(args.level)] if args.level else list(PatternLevel)
+        )
+    exit_code = 0
+    for app in apps:
+        spec = APPS[app]
+        config = spec.testbed_config()
+        if topology is not None:
+            config = topology.apply(config)
+        for level in levels:
+            from ..simnet.topology import build_testbed
+
+            streams = Streams(args.seed)
+            _database, catalog = spec.populate(streams, None)
+            env = Environment()
+            testbed = build_testbed(env, config)
+            resolved = policy
+            if resolved is None:
+                application = spec.build_application(level, catalog=catalog)
+                resolved = level_policy(level, application)
+            else:
+                application = spec.build_application(
+                    resolved.effective_level(), catalog=catalog
+                )
+            try:
+                apply_policy(application, resolved)
+                plan = plan_deployment(
+                    application,
+                    testbed.main_server,
+                    list(testbed.edge_servers),
+                    resolved,
+                )
+            except (PolicyError, PlanError) as exc:
+                print(f"[plan] {app}: {exc}", file=sys.stderr)
+                return 2
+            report = precheck(application, plan)
+            print(f"== {app} · policy '{resolved.name}' ==")
+            print(plan.describe())
+            print()
+            print("resolved policy:")
+            print(resolved.to_json_str(), end="")
+            print(f"precheck ({', '.join(report.checked_rules)}): ", end="")
+            if report.ok:
+                print("PASS")
+            else:
+                print(f"{len(report.violations)} violation(s)")
+                for violation in report.violations:
+                    print(f"  {violation}")
+                exit_code = 1
+            print()
+    return exit_code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -97,8 +196,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["all", ABLATION_TARGET],
-        help="artifact to regenerate",
+        choices=sorted(TARGETS) + ["all", ABLATION_TARGET, PLAN_TARGET],
+        help="artifact to regenerate (or 'plan' to print a deployment "
+        "plan without simulating)",
     )
     parser.add_argument(
         "--duration",
@@ -158,7 +258,91 @@ def main(argv=None) -> int:
         help="with --faults: also write the availability report as "
         "sorted-key JSON",
     )
+    parser.add_argument(
+        "--policy",
+        metavar="FILE",
+        default=None,
+        help="run a declarative placement policy (JSON file, see "
+        "repro.core.policy) instead of the five canned configurations",
+    )
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of edge servers (default: the app's calibrated "
+        "testbed — the paper's 2)",
+    )
+    parser.add_argument(
+        "--wan-latency",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="one-way WAN latency in ms (default: the paper's 100)",
+    )
+    parser.add_argument(
+        "--clients-per-group",
+        type=int,
+        default=None,
+        metavar="N",
+        help="client machines per application server (default: the "
+        "paper's 3)",
+    )
+    parser.add_argument(
+        "--app",
+        choices=("petstore", "rubis"),
+        default=None,
+        help="(plan target) application to plan for (default: both)",
+    )
+    parser.add_argument(
+        "--level",
+        type=int,
+        choices=tuple(int(level) for level in PatternLevel),
+        default=None,
+        help="(plan target) pattern level to plan (default: all five, "
+        "or the --policy file when given)",
+    )
     args = parser.parse_args(argv)
+
+    if args.edges is not None and args.edges < 1:
+        print("[topology] --edges must be >= 1", file=sys.stderr)
+        return 2
+    overrides = TopologyOverrides(
+        edges=args.edges,
+        wan_latency=args.wan_latency,
+        clients_per_group=args.clients_per_group,
+    )
+    topology = None if overrides.empty else overrides
+
+    policy = None
+    if args.policy is not None:
+        try:
+            policy = load_policy(args.policy)
+        except (OSError, PolicyError) as exc:
+            print(f"[policy] {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[policy] '{policy.name}' from {args.policy} "
+            f"(metadata level {int(policy.effective_level())})",
+            file=sys.stderr,
+        )
+    if topology is not None:
+        print(
+            "[topology] overrides: "
+            + ", ".join(
+                f"{knob}={value}"
+                for knob, value in (
+                    ("edges", args.edges),
+                    ("wan-latency", args.wan_latency),
+                    ("clients-per-group", args.clients_per_group),
+                )
+                if value is not None
+            ),
+            file=sys.stderr,
+        )
+
+    if args.target == PLAN_TARGET:
+        return _run_plan(args, policy, topology)
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     if args.profile and jobs != 1:
         from .profile import warn_forced_serial
@@ -188,6 +372,13 @@ def main(argv=None) -> int:
         if args.faults is not None:
             print("[faults] --faults is not supported for ablations", file=sys.stderr)
             return 2
+        if policy is not None or topology is not None:
+            print(
+                "[policy] --policy/--edges/--wan-latency/--clients-per-group "
+                "are not supported for ablations",
+                file=sys.stderr,
+            )
+            return 2
         from . import ablations
 
         progress = ProgressReporter(len(ablations.ABLATIONS), label="ablations")
@@ -204,12 +395,17 @@ def main(argv=None) -> int:
 
     faults = None
     if args.faults is not None:
+        # Canned scenarios target the actual edges of the (possibly
+        # overridden) topology — edge1 always exists since --edges >= 1.
+        edge_count = args.edges if args.edges is not None else 2
+        fault_edges = tuple(f"edge{i + 1}" for i in range(edge_count))
         faults = load_schedule(
-            args.faults, args.duration * 1000.0, args.warmup * 1000.0
+            args.faults, args.duration * 1000.0, args.warmup * 1000.0,
+            edges=fault_edges,
         )
         print(f"[faults] scenario '{faults.name}' active", file=sys.stderr)
 
-    levels = list(PatternLevel)
+    levels = [policy.effective_level()] if policy is not None else list(PatternLevel)
     cells = [(app, level) for app in apps_needed for level in levels]
     print(
         f"[sweep] {len(cells)} cells x {args.duration:.0f}s simulated, "
@@ -229,6 +425,8 @@ def main(argv=None) -> int:
                 progress=progress,
                 profile=args.profile,
                 faults=faults,
+                policy=policy,
+                topology=topology,
             )
             for app in apps_needed
         }
@@ -245,6 +443,8 @@ def main(argv=None) -> int:
             jobs=jobs,
             progress=progress,
             faults=faults,
+            policy=policy,
+            topology=topology,
         )
         series_cache = {
             app: {level: results[(app, level)] for level in levels}

@@ -33,6 +33,11 @@ class FigureData:
     app: str
     groups: List[str]
     series: Dict[Tuple[str, PatternLevel], float] = field(default_factory=dict)
+    # Custom bar labels (custom-policy runs); absent levels use level_name.
+    labels: Dict[PatternLevel, str] = field(default_factory=dict)
+
+    def bar_label(self, level: PatternLevel) -> str:
+        return self.labels.get(PatternLevel(level)) or level_name(level)
 
     def value(self, group: str, level: PatternLevel) -> float:
         return self.series.get((group, PatternLevel(level)), float("nan"))
@@ -54,6 +59,9 @@ def build_figure(results: Dict[PatternLevel, SeriesResult]) -> FigureData:
     ]
     figure = FigureData(app=any_result.app, groups=groups)
     for level, result in results.items():
+        label = getattr(result, "label", None)
+        if label:
+            figure.labels[PatternLevel(level)] = label
         for group in groups:
             figure.series[(group, PatternLevel(level))] = result.session_mean(group)
     return figure
@@ -67,7 +75,9 @@ def figure_to_csv(figure: FigureData) -> str:
             value = figure.value(group, level)
             if value != value:  # NaN
                 continue
-            lines.append(f"{group},{level_name(level).replace(',', ';')},{value:.2f}")
+            lines.append(
+                f"{group},{figure.bar_label(level).replace(',', ';')},{value:.2f}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -84,5 +94,5 @@ def render_figure(figure: FigureData, bar_width: int = 50) -> str:
             if value != value:
                 continue
             bar = "#" * max(1, int(round(bar_width * value / maximum)))
-            lines.append(f"  {level_name(level):28s} {value:7.0f} ms |{bar}")
+            lines.append(f"  {figure.bar_label(level):28s} {value:7.0f} ms |{bar}")
     return "\n".join(lines)

@@ -30,8 +30,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.patterns import PatternLevel
+from ..core.policy import PlacementPolicy
 from ..faults.schedule import FaultSchedule
 from ..simnet.monitor import ResponseTimeMonitor, TraceSummary
+from ..simnet.topology import TopologyOverrides
 from ..workload.generator import WorkloadConfig
 from . import calibration
 from .progress import ProgressReporter
@@ -65,6 +67,12 @@ class CellTask:
     # Fault schedule (frozen dataclasses of tuples — picklable); None or
     # an empty schedule leaves the run untouched.
     faults: Optional[FaultSchedule] = None
+    # Explicit placement policy (frozen, picklable); None runs the canned
+    # configuration for ``level``.
+    policy: Optional[PlacementPolicy] = None
+    # Testbed overrides (frozen, picklable); None keeps the app's
+    # calibrated topology.
+    topology: Optional[TopologyOverrides] = None
 
 
 @dataclass
@@ -93,6 +101,9 @@ class CellResult:
     cache_stats: Optional[dict] = None
     # Canonical resilience snapshot (see repro.faults.report).
     resilience: Optional[dict] = None
+    # Custom-policy row label and effective topology (see ExperimentResult).
+    label: Optional[str] = None
+    topology: Optional[dict] = None
     _monitor: Optional[ResponseTimeMonitor] = field(
         default=None, repr=False, compare=False
     )
@@ -111,6 +122,8 @@ class CellResult:
             metrics_state=result.metrics_state,
             cache_stats=result.cache_stats,
             resilience=result.resilience,
+            label=result.label,
+            topology=result.topology,
         )
 
     @property
@@ -143,6 +156,8 @@ def _run_cell(task: CellTask) -> CellResult:
         with_spans=task.with_spans,
         with_metrics=task.with_metrics,
         faults=task.faults,
+        policy=task.policy,
+        topology=task.topology,
     )
     return CellResult.from_experiment(result)
 
@@ -157,6 +172,8 @@ def run_cells(
     jobs: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
     faults: Optional[FaultSchedule] = None,
+    policy: Optional[PlacementPolicy] = None,
+    topology: Optional[TopologyOverrides] = None,
 ) -> Dict[Tuple[str, PatternLevel], CellResult]:
     """Run every (app, level) cell, fanning out across ``jobs`` processes.
 
@@ -179,6 +196,8 @@ def run_cells(
             with_spans,
             with_metrics,
             faults=faults,
+            policy=policy,
+            topology=topology,
         )
         for key in keys
     }
@@ -214,12 +233,17 @@ def run_series_parallel(
     jobs: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
     faults: Optional[FaultSchedule] = None,
+    policy: Optional[PlacementPolicy] = None,
+    topology: Optional[TopologyOverrides] = None,
 ) -> Dict[PatternLevel, CellResult]:
     """Parallel counterpart of :func:`~repro.experiments.runner.run_series`.
 
     Same grid, same seeds, same output — only the wall clock differs.
     """
-    levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
+    if policy is not None:
+        levels = [policy.effective_level()]
+    else:
+        levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
     results = run_cells(
         [(app, level) for level in levels],
         workload=workload,
@@ -230,5 +254,7 @@ def run_series_parallel(
         jobs=jobs,
         progress=progress,
         faults=faults,
+        policy=policy,
+        topology=topology,
     )
     return {level: results[(app, level)] for level in levels}

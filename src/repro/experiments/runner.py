@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 from ..apps import petstore, rubis
 from ..core.distribution import DeployedSystem, distribute
 from ..core.patterns import PatternLevel
+from ..core.policy import PlacementPolicy
 from ..faults.injector import FaultInjector
 from ..faults.report import collect_resilience
 from ..faults.schedule import FaultSchedule
@@ -24,7 +25,7 @@ from ..obs.metrics import MetricsRegistry, collect_cache_stats, collect_system_m
 from ..obs.spans import SpanRecorder
 from ..simnet.kernel import Environment
 from ..simnet.monitor import ResponseTimeMonitor, Trace
-from ..simnet.topology import build_testbed
+from ..simnet.topology import TestbedConfig, TopologyOverrides, build_testbed
 from ..workload.generator import LoadGenerator, WorkloadConfig
 from . import calibration
 
@@ -114,6 +115,12 @@ class ExperimentResult:
     # injector that produced it (None when no schedule was installed).
     resilience: Optional[dict] = None
     fault_injector: Optional[FaultInjector] = None
+    # Row label for tables/figures (a custom policy's name; None for the
+    # canned configurations, which label themselves by level).
+    label: Optional[str] = None
+    # Effective topology of the run (edge count, WAN latency, client
+    # groups) for results/metrics artifacts.
+    topology: Optional[dict] = None
 
     def mean(self, group: str, page: str) -> float:
         return self.monitor.mean(group, page)
@@ -149,6 +156,15 @@ class ExperimentResult:
         )
 
 
+def topology_dict(config: TestbedConfig) -> dict:
+    """The artifact-facing summary of a testbed config."""
+    return {
+        "edge_servers": config.edge_servers,
+        "wan_latency_ms": config.wan_latency,
+        "clients_per_group": config.clients_per_group,
+    }
+
+
 def run_configuration(
     app: str,
     level: PatternLevel,
@@ -161,20 +177,35 @@ def run_configuration(
     sizes: Optional[dict] = None,
     warm_replicas: bool = True,
     faults: Optional[FaultSchedule] = None,
+    policy: Optional[PlacementPolicy] = None,
+    topology: Optional[TopologyOverrides] = None,
 ) -> ExperimentResult:
-    """Run one (application, pattern level) cell of the evaluation."""
+    """Run one (application, configuration) cell of the evaluation.
+
+    The configuration is a pattern ``level`` (compiled to its canned
+    policy) or, when ``policy`` is given, an explicit
+    :class:`PlacementPolicy` — ``level`` is then ignored and the
+    policy's metadata level picks the application era.  ``topology``
+    optionally overrides the app's calibrated testbed knobs.
+    """
     from ..middleware.context import reset_ids
     from ..simnet.rng import Streams
 
     reset_ids()
     spec = APPS[app]
-    level = PatternLevel(level)
+    if policy is not None:
+        level = policy.effective_level()
+    else:
+        level = PatternLevel(level)
     workload = workload or calibration.default_workload()
 
     streams = Streams(seed)
     database, catalog = spec.populate(streams, sizes)
     env = Environment()
-    testbed = build_testbed(env, spec.testbed_config())
+    config = spec.testbed_config()
+    if topology is not None:
+        config = topology.apply(config)
+    testbed = build_testbed(env, config)
     trace = Trace(max_records=2_000_000) if with_trace else None
     spans = SpanRecorder(max_spans=2_000_000) if with_spans else None
     metrics = MetricsRegistry() if with_metrics else None
@@ -183,7 +214,7 @@ def run_configuration(
         env,
         testbed,
         application,
-        level,
+        policy if policy is not None else level,
         database,
         costs=costs_override or spec.costs,
         db_cost_model=spec.db_costs,
@@ -230,6 +261,8 @@ def run_configuration(
         cache_stats=collect_cache_stats(system),
         resilience=resilience,
         fault_injector=injector,
+        label=policy.name if policy is not None else None,
+        topology=topology_dict(config),
     )
 
 
@@ -245,6 +278,8 @@ def run_series(
     progress=None,
     profile: bool = False,
     faults: Optional[FaultSchedule] = None,
+    policy: Optional[PlacementPolicy] = None,
+    topology: Optional[TopologyOverrides] = None,
 ) -> Dict[PatternLevel, "ExperimentResult"]:
     """All five configurations of one application (Tables 6/7).
 
@@ -266,7 +301,10 @@ def run_series(
     ``jobs != 1`` is downgraded to serial with a stderr warning (results
     are identical either way; only the wall clock differs).
     """
-    levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
+    if policy is not None:
+        levels = [policy.effective_level()]
+    else:
+        levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
     if jobs is not None and jobs != 1:
         if profile:
             from .profile import warn_forced_serial
@@ -287,6 +325,8 @@ def run_series(
                 jobs=jobs,
                 progress=progress,
                 faults=faults,
+                policy=policy,
+                topology=topology,
             )
     results: Dict[PatternLevel, ExperimentResult] = {}
     for level in levels:
@@ -303,6 +343,8 @@ def run_series(
                 with_spans=with_spans,
                 with_metrics=with_metrics,
                 faults=faults,
+                policy=policy,
+                topology=topology,
             )
             dump_cell_profile(f"{app} L{int(level)}", stats, sys.stderr)
         else:
@@ -315,6 +357,8 @@ def run_series(
                 with_spans=with_spans,
                 with_metrics=with_metrics,
                 faults=faults,
+                policy=policy,
+                topology=topology,
             )
         results[level] = result
         if progress is not None:

@@ -43,6 +43,11 @@ class ResponseTimeTable:
     pages: List[str]
     writer_pages: List[str]
     cells: Dict[Tuple[PatternLevel, str, str], TableCell] = field(default_factory=dict)
+    # Custom row labels (custom-policy runs); absent levels use level_name.
+    labels: Dict[PatternLevel, str] = field(default_factory=dict)
+
+    def row_label(self, level: PatternLevel) -> str:
+        return self.labels.get(PatternLevel(level)) or level_name(level)
 
     def get(self, level: PatternLevel, locality: str, page: str) -> Optional[TableCell]:
         return self.cells.get((PatternLevel(level), locality, page))
@@ -81,6 +86,9 @@ def build_table(results: Dict[PatternLevel, SeriesResult]) -> ResponseTimeTable:
         app=any_result.app, pages=pages, writer_pages=list(spec.writer_pages)
     )
     for level, result in results.items():
+        label = getattr(result, "label", None)
+        if label:
+            table.labels[PatternLevel(level)] = label
         for locality in ("local", "remote"):
             for page in pages:
                 cell = _merge_page_means(result, locality, page)
@@ -100,7 +108,7 @@ def table_to_csv(table: ResponseTimeTable) -> str:
                 cell = table.get(level, locality, page)
                 if cell is None:
                     continue
-                name = level_name(level).replace(",", ";")
+                name = table.row_label(level).replace(",", ";")
                 lines.append(
                     f"{name},{locality},\"{page}\",{cell.mean:.2f},{cell.count}"
                 )
@@ -118,7 +126,7 @@ def render_table(table: ResponseTimeTable, width: int = 7) -> str:
     lines.append("-" * len(header))
     for level in table.levels:
         for locality, label in (("local", "Local"), ("remote", "Remote")):
-            name = level_name(level) if locality == "local" else ""
+            name = table.row_label(level) if locality == "local" else ""
             row = f"{name:32s} {label:6s}"
             for page in table.pages:
                 cell = table.get(level, locality, page)

@@ -11,8 +11,8 @@ fault scenario is active.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from ..core.patterns import PatternLevel, level_name
 
@@ -56,15 +56,32 @@ class AvailabilityTable:
     scenario: str
     # ((level, resilience dict), ...) in ascending level order.
     rows: Tuple[Tuple[PatternLevel, dict], ...]
+    # Custom row labels (custom-policy runs); absent levels use level_name.
+    labels: Dict[PatternLevel, str] = field(default_factory=dict)
+    # Effective topology of the series' runs (edge count, WAN knobs).
+    topology: Optional[dict] = None
+
+    def row_label(self, level: PatternLevel) -> str:
+        return self.labels.get(PatternLevel(level)) or level_name(level)
 
 
 def build_availability_table(app: str, series: Dict, scenario: str = "") -> AvailabilityTable:
     """Assemble the table from a run series (results carry ``resilience``)."""
     rows = []
+    labels: Dict[PatternLevel, str] = {}
+    topology = None
     for level in sorted(series, key=int):
-        resilience = series[level].resilience or {}
+        result = series[level]
+        resilience = result.resilience or {}
         rows.append((PatternLevel(level), resilience))
-    return AvailabilityTable(app=app, scenario=scenario, rows=tuple(rows))
+        label = getattr(result, "label", None)
+        if label:
+            labels[PatternLevel(level)] = label
+        if topology is None:
+            topology = getattr(result, "topology", None)
+    return AvailabilityTable(
+        app=app, scenario=scenario, rows=tuple(rows), labels=labels, topology=topology
+    )
 
 
 def _availability_pct(row: dict) -> float:
@@ -88,7 +105,7 @@ def render_availability_table(table: AvailabilityTable) -> str:
     for level, row in table.rows:
         staleness_s = sum(row.get("staleness_ms", {}).values()) / 1000.0
         lines.append(
-            f"{level_name(level):32s} "
+            f"{table.row_label(level):32s} "
             f"{row.get('requests', 0):>7d} "
             f"{row.get('errors', 0):>6d} "
             f"{_availability_pct(row):>7.2f} "
@@ -104,13 +121,19 @@ def render_availability_table(table: AvailabilityTable) -> str:
 
 def availability_to_json(tables) -> str:
     """Canonical JSON for the availability artifact (sorted keys)."""
-    payload = {
-        table.app: {
+    payload = {}
+    for table in tables:
+        entry: dict = {
             "scenario": table.scenario,
             "configurations": {
                 f"L{int(level)}": row for level, row in table.rows
             },
         }
-        for table in tables
-    }
+        if table.labels:
+            entry["labels"] = {
+                f"L{int(level)}": label for level, label in table.labels.items()
+            }
+        if table.topology is not None:
+            entry["topology"] = table.topology
+        payload[table.app] = entry
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"

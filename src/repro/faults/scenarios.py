@@ -1,10 +1,13 @@
-"""Canned fault scenarios, parameterized by the run's duration.
+"""Canned fault scenarios, parameterized by run duration and topology.
 
-A scenario is a function ``(duration_ms, warmup_ms) -> FaultSchedule``:
+A scenario is a function ``(duration_ms, warmup_ms, edges) -> FaultSchedule``:
 windows are placed relative to the measured (post-warm-up) portion of
 the run so the same scenario name works for a 40-second smoke cell and a
-full 20-minute sweep.  ``load_schedule`` is the CLI entry point: it
-accepts either a canned scenario name or a path to a JSON file matching
+full 20-minute sweep, and faults target the *actual* edge servers of the
+testbed — the first edge for single-target scenarios, every edge for
+WAN-wide ones — so ``--edges 1`` and ``--edges 10`` both work.
+``load_schedule`` is the CLI entry point: it accepts either a canned
+scenario name or a path to a JSON file matching
 :meth:`FaultSchedule.to_json`.
 """
 
@@ -12,7 +15,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence, Tuple
 
 from .schedule import (
     FaultSchedule,
@@ -22,7 +25,10 @@ from .schedule import (
     ServerCrash,
 )
 
-__all__ = ["SCENARIOS", "scenario", "load_schedule"]
+__all__ = ["SCENARIOS", "DEFAULT_EDGES", "scenario", "load_schedule"]
+
+# The paper's testbed: two edge servers behind the WAN router.
+DEFAULT_EDGES: Tuple[str, ...] = ("edge1", "edge2")
 
 
 def _window(duration_ms: float, warmup_ms: float, lo: float, hi: float):
@@ -31,10 +37,19 @@ def _window(duration_ms: float, warmup_ms: float, lo: float, hi: float):
     return warmup_ms + lo * active, warmup_ms + hi * active
 
 
-def edge_partition(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
-    """The paper's nightmare: the WAN link to edge1 goes dark mid-run.
+def _target(edges: Sequence[str]) -> str:
+    """The edge a single-server scenario hits (the first one)."""
+    if not edges:
+        raise ValueError("fault scenarios need at least one edge server")
+    return edges[0]
 
-    Every request from edge1's clients that needs the main server —
+
+def edge_partition(
+    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+) -> FaultSchedule:
+    """The paper's nightmare: the WAN link to one edge goes dark mid-run.
+
+    Every request from that edge's clients that needs the main server —
     centralized page fetches, remote facade calls, replica pulls, sync
     pushes — fails for the window; edge-heavy patterns keep serving
     local reads from replicas and caches while staleness accrues.
@@ -42,50 +57,59 @@ def edge_partition(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
     start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
     return FaultSchedule(
         name="edge-partition",
-        partitions=(LinkPartition("router", "edge1", start, end),),
+        partitions=(LinkPartition("router", _target(edges), start, end),),
     ).validate()
 
 
-def edge_crash(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
-    """edge1's app-server process dies and restarts cold.
+def edge_crash(
+    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+) -> FaultSchedule:
+    """One edge's app-server process dies and restarts cold.
 
-    Routing survives, so edge1's clients fail over to the main server
-    over the WAN for the window; after restart the edge serves again
-    with empty session stores, replicas and caches.
+    Routing survives, so that edge's clients fail over to the main
+    server over the WAN for the window; after restart the edge serves
+    again with empty session stores, replicas and caches.
     """
     start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
     return FaultSchedule(
-        name="edge-crash", crashes=(ServerCrash("edge1", start, end),)
+        name="edge-crash", crashes=(ServerCrash(_target(edges), start, end),)
     ).validate()
 
 
-def flaky_wan(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
-    """Lossy, jittery WAN: 2% loss on both edge links plus jitter on edge1."""
+def flaky_wan(
+    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+) -> FaultSchedule:
+    """Lossy, jittery WAN: 2% loss on every edge link plus jitter on one."""
     start, end = _window(duration_ms, warmup_ms, 0.25, 0.75)
+    target = _target(edges)
     return FaultSchedule(
         name="flaky-wan",
-        loss_windows=(
-            LossWindow("router", "edge1", start, end, probability=0.02),
-            LossWindow("router", "edge2", start, end, probability=0.02),
+        loss_windows=tuple(
+            LossWindow("router", edge, start, end, probability=0.02)
+            for edge in edges
         ),
         latency_spikes=(
-            LatencySpike("router", "edge1", start, end, extra_ms=30.0, jitter_ms=40.0),
+            LatencySpike("router", target, start, end, extra_ms=30.0, jitter_ms=40.0),
         ),
     ).validate()
 
 
-def latency_spike(duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
-    """A routing flap quadruples edge1's one-way WAN latency for a while."""
+def latency_spike(
+    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+) -> FaultSchedule:
+    """A routing flap quadruples one edge's one-way WAN latency for a while."""
     start, end = _window(duration_ms, warmup_ms, 0.35, 0.65)
     return FaultSchedule(
         name="latency-spike",
         latency_spikes=(
-            LatencySpike("router", "edge1", start, end, extra_ms=300.0, jitter_ms=100.0),
+            LatencySpike(
+                "router", _target(edges), start, end, extra_ms=300.0, jitter_ms=100.0
+            ),
         ),
     ).validate()
 
 
-SCENARIOS: Dict[str, Callable[[float, float], FaultSchedule]] = {
+SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
     "edge-partition": edge_partition,
     "edge-crash": edge_crash,
     "flaky-wan": flaky_wan,
@@ -93,7 +117,12 @@ SCENARIOS: Dict[str, Callable[[float, float], FaultSchedule]] = {
 }
 
 
-def scenario(name: str, duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+def scenario(
+    name: str,
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Sequence[str] = DEFAULT_EDGES,
+) -> FaultSchedule:
     """Build the canned scenario ``name`` for a run of the given length."""
     try:
         build = SCENARIOS[name]
@@ -102,13 +131,18 @@ def scenario(name: str, duration_ms: float, warmup_ms: float = 0.0) -> FaultSche
             f"unknown fault scenario {name!r}; canned scenarios: "
             f"{', '.join(sorted(SCENARIOS))}"
         ) from None
-    return build(duration_ms, warmup_ms)
+    return build(duration_ms, warmup_ms, edges)
 
 
-def load_schedule(spec: str, duration_ms: float, warmup_ms: float = 0.0) -> FaultSchedule:
+def load_schedule(
+    spec: str,
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Sequence[str] = DEFAULT_EDGES,
+) -> FaultSchedule:
     """Resolve a ``--faults`` argument: canned name or JSON file path."""
     looks_like_path = spec.endswith(".json") or os.sep in spec
     if looks_like_path or (spec not in SCENARIOS and os.path.exists(spec)):
         with open(spec, "r", encoding="utf-8") as handle:
             return FaultSchedule.from_json(json.load(handle))
-    return scenario(spec, duration_ms, warmup_ms)
+    return scenario(spec, duration_ms, warmup_ms, edges)

@@ -267,6 +267,11 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
     and replicas in sorted order; names are stable dotted paths so the
     registry snapshot is canonical.
     """
+    config = system.testbed.config
+    registry.gauge("topology.edge_servers").set(float(config.edge_servers))
+    registry.gauge("topology.wan_latency_ms").set(float(config.wan_latency))
+    registry.gauge("topology.clients_per_group").set(float(config.clients_per_group))
+
     for server_name in sorted(system.servers):
         server = system.servers[server_name]
         prefix = f"app_server.{server_name}"

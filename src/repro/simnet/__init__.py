@@ -30,7 +30,13 @@ from .router import (
     PacketLoss,
     TokenBucketShaper,
 )
-from .topology import MBIT_PER_S, Testbed, TestbedConfig, build_testbed
+from .topology import (
+    MBIT_PER_S,
+    Testbed,
+    TestbedConfig,
+    TopologyOverrides,
+    build_testbed,
+)
 from .transport import ACK_SIZE, SYN_SIZE, Connection, ConnectionPool, TransportError
 
 __all__ = [
@@ -67,6 +73,7 @@ __all__ = [
     "MBIT_PER_S",
     "Testbed",
     "TestbedConfig",
+    "TopologyOverrides",
     "build_testbed",
     "ACK_SIZE",
     "SYN_SIZE",

@@ -10,13 +10,19 @@ link enforces the combined bandwidth cap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 from .kernel import Environment
 from .network import Network
 
-__all__ = ["TestbedConfig", "Testbed", "build_testbed", "MBIT_PER_S"]
+__all__ = [
+    "TestbedConfig",
+    "TopologyOverrides",
+    "Testbed",
+    "build_testbed",
+    "MBIT_PER_S",
+]
 
 # 1 Mbit/s expressed in bytes per millisecond.
 MBIT_PER_S = 1_000_000 / 8 / 1000.0
@@ -37,6 +43,38 @@ class TestbedConfig:
     db_cpus: int = 2
     db_colocated: bool = False  # RUBiS tests ran MySQL on the main server
     edge_servers: int = 2
+
+
+@dataclass(frozen=True)
+class TopologyOverrides:
+    """CLI-supplied deviations from an experiment's canned testbed config.
+
+    ``None`` means "keep the experiment's calibrated value"; a set field
+    replaces it.  Picklable, so it rides inside parallel cell tasks.
+    """
+
+    edges: Optional[int] = None
+    wan_latency: Optional[float] = None
+    clients_per_group: Optional[int] = None
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.edges is None
+            and self.wan_latency is None
+            and self.clients_per_group is None
+        )
+
+    def apply(self, config: TestbedConfig) -> TestbedConfig:
+        """A new config with the non-``None`` overrides applied."""
+        changes = {}
+        if self.edges is not None:
+            changes["edge_servers"] = int(self.edges)
+        if self.wan_latency is not None:
+            changes["wan_latency"] = float(self.wan_latency)
+        if self.clients_per_group is not None:
+            changes["clients_per_group"] = int(self.clients_per_group)
+        return replace(config, **changes) if changes else config
 
 
 @dataclass
