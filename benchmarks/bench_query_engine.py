@@ -1,0 +1,327 @@
+"""Benchmark the cost-based query engine against forced full scans.
+
+Builds a RUBiS-shaped database (the auction schema the paper's §4.4
+caching study runs against), then executes an index-favorable workload —
+category aggregates, primary-key ranges, nickname prefix searches, and
+bid-history joins — twice: once with the cost-based planner free to pick
+access paths, once with ``force_full_scans`` pinning every scan to the
+heap.  Both passes must return identical rows; the report records the
+wall-clock and simulated-cost (``rows_scanned``) improvement per query
+and overall.
+
+``rows_scanned`` is the honest currency here: the simulation charges
+database time from it, so the ratio is exactly the simulated-cost
+speedup and is deterministic across machines.  Wall clock is reported
+alongside but only asserted via ``--require-speedup`` against the
+deterministic ratio.
+
+Workflow::
+
+    python benchmarks/bench_query_engine.py                    # full size
+    python benchmarks/bench_query_engine.py --scale 0.1        # CI smoke
+
+Exits non-zero when the two passes disagree on results, when any
+workload query fails to select an index-backed plan, or when the
+simulated-cost speedup falls below ``--require-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.apps.rubis.schema import rubis_schemas
+from repro.rdbms.engine import Database
+
+BASE_USERS = 2000
+BASE_ITEMS = 5000
+BASE_BIDS = 10000
+CATEGORIES = 20
+REGIONS = 10
+
+
+def machine_info() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def build_database(scale: float, seed: int) -> Database:
+    rng = random.Random(seed)
+    users = max(50, int(BASE_USERS * scale))
+    items = max(100, int(BASE_ITEMS * scale))
+    bids = max(200, int(BASE_BIDS * scale))
+    db = Database("rubis-bench")
+    for schema in rubis_schemas():
+        db.create_table(schema)
+    db.load("regions", ({"id": i, "name": f"region-{i}"} for i in range(REGIONS)))
+    db.load(
+        "categories", ({"id": i, "name": f"category-{i}"} for i in range(CATEGORIES))
+    )
+    db.load(
+        "users",
+        (
+            {
+                "id": i,
+                "nickname": f"user{i:05d}",
+                "password": "pw",
+                "email": f"u{i}@example.com",
+                "rating": rng.randint(0, 50),
+                "region_id": rng.randrange(REGIONS),
+            }
+            for i in range(users)
+        ),
+    )
+    db.load(
+        "items",
+        (
+            {
+                "id": i,
+                "name": f"item {i}",
+                "description": "x" * 20,
+                "initial_price": round(rng.uniform(1.0, 500.0), 2),
+                "quantity": 1,
+                "nb_of_bids": 0,
+                "max_bid": round(rng.uniform(1.0, 800.0), 2),
+                "end_date": float(rng.randrange(100_000)),
+                "seller": rng.randrange(users),
+                "category": rng.randrange(CATEGORIES),
+            }
+            for i in range(items)
+        ),
+    )
+    db.load(
+        "bids",
+        (
+            {
+                "id": i,
+                "user_id": rng.randrange(users),
+                "item_id": rng.randrange(items),
+                "qty": 1,
+                "bid": round(rng.uniform(1.0, 800.0), 2),
+                "max_bid": round(rng.uniform(1.0, 900.0), 2),
+                "date": float(i),
+            }
+            for i in range(bids)
+        ),
+    )
+    return db
+
+
+def build_workload(db: Database, seed: int, queries_per_kind: int) -> list:
+    """[(kind, sql, params), ...] — deterministic, index-favorable."""
+    rng = random.Random(seed + 1)
+    n_users = len(db.table("users"))
+    n_items = len(db.table("items"))
+    workload = []
+    for _ in range(queries_per_kind):
+        category = rng.randrange(CATEGORIES)
+        workload.append(
+            (
+                "category_aggregate",
+                "SELECT COUNT(*) AS n, MAX(max_bid) AS top FROM items "
+                "WHERE category = ?",
+                (category,),
+            )
+        )
+        lo = rng.randrange(max(1, n_items - 60))
+        workload.append(
+            (
+                "item_id_range",
+                "SELECT id, name, max_bid FROM items WHERE id BETWEEN ? AND ?",
+                (lo, lo + 50),
+            )
+        )
+        prefix = f"user{rng.randrange(max(1, n_users // 10)):04d}"
+        workload.append(
+            (
+                "nickname_prefix",
+                "SELECT id, nickname FROM users WHERE nickname LIKE ?",
+                (prefix + "%",),
+            )
+        )
+        workload.append(
+            (
+                "bid_history_join",
+                "SELECT bids.id, bids.bid, u.nickname FROM bids "
+                "JOIN users u ON bids.user_id = u.id WHERE bids.item_id = ?",
+                (rng.randrange(n_items),),
+            )
+        )
+        workload.append(
+            (
+                "region_members",
+                "SELECT COUNT(*) AS n FROM users WHERE region_id = ?",
+                (rng.randrange(REGIONS),),
+            )
+        )
+    return workload
+
+
+def checksum(result) -> int:
+    return hash(
+        tuple(tuple(sorted(row.items())) for row in result.rows)
+    )
+
+
+def run_pass(db: Database, workload: list, force_full: bool) -> dict:
+    """One timed pass; returns per-kind wall/rows_scanned plus checksums."""
+    executor = db.executor
+    executor.force_full_scans = force_full
+    per_kind = {}
+    checksums = []
+    started = time.perf_counter()
+    for kind, sql, params in workload:
+        q_started = time.perf_counter()
+        result = db.execute(sql, params)
+        elapsed = time.perf_counter() - q_started
+        checksums.append(checksum(result))
+        slot = per_kind.setdefault(
+            kind, {"wall_seconds": 0.0, "rows_scanned": 0, "queries": 0}
+        )
+        slot["wall_seconds"] += elapsed
+        slot["rows_scanned"] += result.rows_scanned
+        slot["queries"] += 1
+    total_wall = time.perf_counter() - started
+    executor.force_full_scans = False
+    for slot in per_kind.values():
+        slot["wall_seconds"] = round(slot["wall_seconds"], 4)
+    return {
+        "total_wall_seconds": round(total_wall, 4),
+        "total_rows_scanned": sum(s["rows_scanned"] for s in per_kind.values()),
+        "per_kind": per_kind,
+        "checksums": checksums,
+    }
+
+
+def collect_plans(db: Database, workload: list) -> dict:
+    """One EXPLAIN per query kind: chosen op and rendered text."""
+    seen = {}
+    for kind, sql, params in workload:
+        if kind in seen:
+            continue
+        plan = db.explain(sql, params)
+        seen[kind] = {
+            "chosen_op": plan.root.op,
+            "access_paths": [node.op for node in plan.access_paths()],
+            "explain": plan.render(),
+        }
+    return seen
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="data size multiplier (default %(default)s)")
+    parser.add_argument("--queries-per-kind", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument("--output", default="BENCH_query_engine.json")
+    parser.add_argument("--require-speedup", type=float, default=2.0, metavar="X",
+                        help="exit non-zero unless the simulated-cost speedup "
+                        "(rows scanned, full/planned) is >= X (default %(default)s)")
+    args = parser.parse_args()
+
+    print(f"[bench] building RUBiS data at scale {args.scale:g} ...", file=sys.stderr)
+    db = build_database(args.scale, args.seed)
+    workload = build_workload(db, args.seed, args.queries_per_kind)
+
+    plans = collect_plans(db, workload)
+    index_backed = {
+        kind: info["chosen_op"] != "full-scan" or "index-eq" in info["access_paths"]
+        for kind, info in plans.items()
+    }
+
+    print(f"[bench] planned pass: {len(workload)} queries ...", file=sys.stderr)
+    planned = run_pass(db, workload, force_full=False)
+    print("[bench] forced full-scan pass ...", file=sys.stderr)
+    forced = run_pass(db, workload, force_full=True)
+
+    results_identical = planned["checksums"] == forced["checksums"]
+    cost_speedup = (
+        round(forced["total_rows_scanned"] / planned["total_rows_scanned"], 3)
+        if planned["total_rows_scanned"] else None
+    )
+    wall_speedup = (
+        round(forced["total_wall_seconds"] / planned["total_wall_seconds"], 3)
+        if planned["total_wall_seconds"] else None
+    )
+
+    per_kind = {}
+    for kind in planned["per_kind"]:
+        p, f = planned["per_kind"][kind], forced["per_kind"][kind]
+        per_kind[kind] = {
+            "queries": p["queries"],
+            "chosen_op": plans[kind]["chosen_op"],
+            "planned_rows_scanned": p["rows_scanned"],
+            "fullscan_rows_scanned": f["rows_scanned"],
+            "cost_speedup": (
+                round(f["rows_scanned"] / p["rows_scanned"], 3)
+                if p["rows_scanned"] else None
+            ),
+            "planned_wall_seconds": p["wall_seconds"],
+            "fullscan_wall_seconds": f["wall_seconds"],
+        }
+
+    executor = db.executor
+    report = {
+        "benchmark": "cost-based query engine vs forced full scans (RUBiS workload)",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": machine_info(),
+        "scale": args.scale,
+        "seed": args.seed,
+        "queries": len(workload) * 2,
+        "results_identical": results_identical,
+        "index_backed_plans": index_backed,
+        "simulated_cost_speedup": cost_speedup,
+        "wall_clock_speedup": wall_speedup,
+        "planned_total_rows_scanned": planned["total_rows_scanned"],
+        "fullscan_total_rows_scanned": forced["total_rows_scanned"],
+        "planned_total_wall_seconds": planned["total_wall_seconds"],
+        "fullscan_total_wall_seconds": forced["total_wall_seconds"],
+        "executor_counters": {
+            "index_scans": executor.index_scans,
+            "full_scans": executor.full_scans,
+            "range_scans": executor.range_scans,
+            "prefix_scans": executor.prefix_scans,
+            "join_index_lookups": executor.join_index_lookups,
+            "join_full_scans": executor.join_full_scans,
+        },
+        "per_kind": per_kind,
+        "explain_samples": {k: v["explain"] for k, v in plans.items()},
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({k: v for k, v in report.items() if k != "explain_samples"},
+                     indent=2))
+
+    if not results_identical:
+        print("ERROR: planned and full-scan passes returned different rows",
+              file=sys.stderr)
+        return 1
+    not_indexed = [k for k, ok in index_backed.items() if not ok]
+    if not_indexed:
+        print(f"ERROR: workload queries not index-backed: {not_indexed}",
+              file=sys.stderr)
+        return 1
+    if args.require_speedup is not None and (
+        cost_speedup is None or cost_speedup < args.require_speedup
+    ):
+        print(
+            f"ERROR: simulated-cost speedup {cost_speedup} < required "
+            f"{args.require_speedup}", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

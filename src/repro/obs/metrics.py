@@ -290,6 +290,10 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
     executor = database.executor
     registry.counter("db.executor.index_scans").inc(executor.index_scans)
     registry.counter("db.executor.full_scans").inc(executor.full_scans)
+    registry.counter("db.executor.range_scans").inc(executor.range_scans)
+    registry.counter("db.executor.prefix_scans").inc(executor.prefix_scans)
+    registry.counter("db.executor.join_index_lookups").inc(executor.join_index_lookups)
+    registry.counter("db.executor.join_full_scans").inc(executor.join_full_scans)
 
     jms = system.main.jms
     if jms is not None:

@@ -1,5 +1,6 @@
 """Relational database substrate: engine, SQL subset, server, JDBC model."""
 
+from .bptree import BPlusTree
 from .engine import Database, DatabaseError
 from .executor import ExecutionError, Executor, ResultSet
 from .expressions import (
@@ -15,10 +16,14 @@ from .expressions import (
     Or,
     Parameter,
     bind_parameters,
+    like_matcher,
+    like_prefix,
 )
 from .jdbc import DataSource, JdbcConfig, JdbcConnection, JdbcError
+from .plan import AccessChoice, PlanNode, QueryPlan
 from .schema import Column, ForeignKey, SchemaError, TableSchema
 from .server import DatabaseServer, DbCostModel, DbSession, result_wire_size
+from .stats import TableStats
 from .sql import (
     Aggregate,
     Delete,
@@ -38,11 +43,18 @@ from .transactions import LockManager, Transaction, TransactionError
 from .types import BOOLEAN, FLOAT, INTEGER, TEXT, ColumnType
 
 __all__ = [
+    "BPlusTree",
     "Database",
     "DatabaseError",
     "ExecutionError",
     "Executor",
     "ResultSet",
+    "AccessChoice",
+    "PlanNode",
+    "QueryPlan",
+    "TableStats",
+    "like_matcher",
+    "like_prefix",
     "And",
     "ColumnRef",
     "Comparison",

@@ -38,7 +38,9 @@ from .expressions import (
     Not,
     Or,
     Parameter,
+    like_matcher,
 )
+from .lru import LruCache
 
 __all__ = ["compile_expression", "compiled", "column_lookup", "EMPTY_ROW"]
 
@@ -83,7 +85,7 @@ def _compile_column(name: str) -> CompiledExpr:
 # Column lookups depend only on the column name, so they are shared
 # across statements (projection lists build fresh ColumnRef nodes per
 # execution; compiling those through this memo makes that free).
-_COLUMN_CACHE: Dict[str, CompiledExpr] = {}
+_COLUMN_CACHE = LruCache(4096)
 
 
 def column_lookup(name: str) -> CompiledExpr:
@@ -91,8 +93,7 @@ def column_lookup(name: str) -> CompiledExpr:
     lookup = _COLUMN_CACHE.get(name)
     if lookup is None:
         lookup = _compile_column(name)
-        if len(_COLUMN_CACHE) < _CACHE_LIMIT:
-            _COLUMN_CACHE[name] = lookup
+        _COLUMN_CACHE.put(name, lookup)
     return lookup
 
 
@@ -148,20 +149,20 @@ def compile_expression(expression: Expression) -> CompiledExpr:
     if kind is Like:
         column = compile_expression(expression.column)
         if type(expression.pattern) is Literal and expression.pattern.value is not None:
-            needle = str(expression.pattern.value).strip("%").lower()
+            match = like_matcher(str(expression.pattern.value))
 
             def like_constant(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
                 value = column(row, params)
                 if value is None:
                     return False
-                return needle in str(value).lower()
+                return match(str(value).lower())
 
             return like_constant
         pattern = compile_expression(expression.pattern)
         # The pattern is constant across a scan (it comes from the params
-        # tuple), so memoize the lowered needle for the last pattern seen
-        # instead of re-stripping it for every candidate row.
-        last = [_MISSING, ""]
+        # tuple), so memoize the lowered matcher for the last pattern seen
+        # instead of re-compiling it for every candidate row.
+        last = [_MISSING, None]
 
         def like(row: Dict[str, Any], params: Tuple[Any, ...]) -> bool:
             value = column(row, params)
@@ -170,8 +171,8 @@ def compile_expression(expression: Expression) -> CompiledExpr:
                 return False
             if pattern_value != last[0]:
                 last[0] = pattern_value
-                last[1] = str(pattern_value).strip("%").lower()
-            return last[1] in str(value).lower()
+                last[1] = like_matcher(str(pattern_value))
+            return last[1](str(value).lower())
 
         return like
     if kind is InList:
@@ -197,9 +198,10 @@ def compile_expression(expression: Expression) -> CompiledExpr:
 
 
 # Memo keyed by object identity.  Expressions are pinned in the value so a
-# cached id can never be reused by a different (dead) expression.
-_COMPILED_CACHE: Dict[int, Tuple[Expression, CompiledExpr]] = {}
-_CACHE_LIMIT = 4096
+# cached id can never be matched by a different (dead) expression; the LRU
+# evicts cold entries, dropping the pin, so long multi-cell runs neither
+# leak expressions nor stop admitting new ones.
+_COMPILED_CACHE: LruCache = LruCache(4096)
 
 
 def compiled(expression: Expression) -> CompiledExpr:
@@ -208,6 +210,5 @@ def compiled(expression: Expression) -> CompiledExpr:
     if entry is not None:
         return entry[1]
     function = compile_expression(expression)
-    if len(_COMPILED_CACHE) < _CACHE_LIMIT:
-        _COMPILED_CACHE[id(expression)] = (expression, function)
+    _COMPILED_CACHE.put(id(expression), (expression, function))
     return function

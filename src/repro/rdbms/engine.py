@@ -87,6 +87,18 @@ class Database:
         return result
 
     # -- introspection -----------------------------------------------------------
+    def explain(
+        self, statement: Union[str, Statement], params: Tuple[Any, ...] = ()
+    ):
+        """The query plan the executor would choose, without executing.
+
+        Returns a :class:`~repro.rdbms.plan.QueryPlan`; ``.render()``
+        yields EXPLAIN-style text including rejected candidate paths.
+        """
+        if isinstance(statement, str):
+            statement = parse_cached(statement)
+        return self._executor.explain(statement, params)
+
     def write_targets(self, statement: Union[str, Statement], params: Tuple[Any, ...] = ()) -> List[Tuple[str, Any]]:
         """The (table, key) pairs a mutation will touch — used for locking.
 
@@ -114,7 +126,7 @@ class Database:
             table = self.table(statement.table)
             pk = table.schema.primary_key
             try:
-                rows, _scanned, _index = self._executor._scan_with_plan(
+                rows, _scanned, _index, _node = self._executor._scan_with_plan(
                     table, statement.where, params, copy_rows=False
                 )
             except (ExecutionError, EvaluationError, IndexError):

@@ -7,8 +7,9 @@ to these expressions rather than to SQL text).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "Expression",
@@ -23,7 +24,64 @@ __all__ = [
     "InList",
     "EvaluationError",
     "bind_parameters",
+    "like_matcher",
+    "like_prefix",
 ]
+
+
+# ---------------------------------------------------------------------------
+# LIKE pattern semantics (shared by the tree-walker and the compiler)
+# ---------------------------------------------------------------------------
+
+_LIKE_CACHE: Dict[str, Callable[[str], bool]] = {}
+_LIKE_CACHE_LIMIT = 1024
+
+
+def _compile_like(pattern: str) -> Callable[[str], bool]:
+    parts = pattern.lower().split("%")
+    if len(parts) == 1:  # no wildcard: exact (case-insensitive) match
+        exact = parts[0]
+        return lambda value: value == exact
+    if len(parts) == 2:
+        head, tail = parts
+        if not tail:  # 'abc%'
+            return lambda value: value.startswith(head)
+        if not head:  # '%abc'
+            return lambda value: value.endswith(tail)
+        floor = len(head) + len(tail)
+        return lambda value: (
+            len(value) >= floor and value.startswith(head) and value.endswith(tail)
+        )
+    if len(parts) == 3 and not parts[0] and not parts[2]:  # '%abc%'
+        needle = parts[1]
+        return lambda value: needle in value
+    regex = re.compile(".*".join(re.escape(part) for part in parts), re.DOTALL)
+    return lambda value: regex.fullmatch(value) is not None
+
+
+def like_matcher(pattern: str) -> Callable[[str], bool]:
+    """Predicate for a SQL LIKE ``pattern`` (``%`` wildcard, case-insensitive).
+
+    The returned callable expects an already-**lowercased** value; callers
+    lower each candidate once instead of per pattern segment.
+    """
+    matcher = _LIKE_CACHE.get(pattern)
+    if matcher is None:
+        matcher = _compile_like(pattern)
+        if len(_LIKE_CACHE) < _LIKE_CACHE_LIMIT:
+            _LIKE_CACHE[pattern] = matcher
+    return matcher
+
+
+def like_prefix(pattern: str) -> Optional[str]:
+    """The literal prefix when ``pattern`` is prefix-shaped (``abc%``), else None.
+
+    A pattern qualifies for an ordered-index prefix scan only when its
+    single ``%`` is the final character and the prefix is non-empty.
+    """
+    if len(pattern) > 1 and pattern.endswith("%") and "%" not in pattern[:-1]:
+        return pattern[:-1]
+    return None
 
 
 class EvaluationError(Exception):
@@ -101,6 +159,8 @@ _OPERATORS = {
     ">=": lambda a, b: a >= b,
 }
 
+_RANGE_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
 
 @dataclass(frozen=True)
 class Comparison(Expression):
@@ -133,6 +193,22 @@ class Comparison(Expression):
             return self.left.name, self.right
         if isinstance(self.right, ColumnRef) and not isinstance(self.left, ColumnRef):
             return self.right.name, self.left
+        return None
+
+    def range_binding(self) -> Optional[Tuple[str, str, Expression]]:
+        """If this is a range bound on one column, return (column, op, value-expr).
+
+        The operator is normalized to column-on-the-left form, so
+        ``5 < price`` reports ``("price", ">", 5)``.  Used by the planner
+        to consider ordered-index range scans.
+        """
+        flipped = _RANGE_FLIP.get(self.operator)
+        if flipped is None:
+            return None
+        if isinstance(self.left, ColumnRef) and not isinstance(self.right, ColumnRef):
+            return self.left.name, self.operator, self.right
+        if isinstance(self.right, ColumnRef) and not isinstance(self.left, ColumnRef):
+            return self.right.name, flipped, self.left
         return None
 
 
@@ -180,12 +256,15 @@ class Not(Expression):
 
 @dataclass(frozen=True)
 class Like(Expression):
-    """Substring match: ``column LIKE '%needle%'`` (case-insensitive).
+    """SQL LIKE with ``%`` wildcards, matched case-insensitively.
 
-    Only the ``%needle%`` shape is supported, which is what the Pet Store
-    keyword search uses.  LIKE predicates are never index-accelerated,
-    reproducing "highly customized aggregate queries (such as keyword
-    searches) ... end up being executed in the database server".
+    ``%needle%`` keeps its substring semantics (the Pet Store keyword
+    search), ``abc%`` anchors a prefix — which the planner can serve from
+    an ordered index — and general multi-``%`` patterns fall back to an
+    anchored regex.  Interior-wildcard patterns are never
+    index-accelerated, reproducing "highly customized aggregate queries
+    (such as keyword searches) ... end up being executed in the database
+    server".
     """
 
     column: ColumnRef
@@ -196,8 +275,7 @@ class Like(Expression):
         pattern = self.pattern.evaluate(row)
         if value is None or pattern is None:
             return False
-        needle = str(pattern).strip("%").lower()
-        return needle in str(value).lower()
+        return like_matcher(str(pattern))(str(value).lower())
 
     def columns(self) -> List[str]:
         return self.column.columns()

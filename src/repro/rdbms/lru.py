@@ -1,0 +1,54 @@
+"""A tiny bounded LRU map for the engine's memo caches.
+
+The engine memoizes by object identity in several places (compiled
+expressions, scan plans, SELECT shapes).  Identity-keyed caches must pin
+the keyed object inside the value so a live cache entry can never be
+matched by a *different* object that reused the id — and pinning means
+the cache must evict, or every statement/schema ever seen stays alive
+for the process lifetime.  This LRU evicts least-recently-used entries
+once ``capacity`` is exceeded; evicting an entry drops the pin, so a
+later id reuse simply misses and recomputes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["LruCache"]
+
+_MISSING = object()
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("LRU capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The value for ``key`` (refreshing its recency), or None."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return None
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)

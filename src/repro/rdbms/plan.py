@@ -1,0 +1,183 @@
+"""Cost-based access-path plans and EXPLAIN rendering.
+
+SimpleDB-style: every candidate access path is costed in
+``blocks_accessed`` / ``records_output`` estimates (from
+:mod:`repro.rdbms.stats`) and the cheapest wins.  Ties break by a fixed
+path rank — equality index, then prefix scan, then range scan, then
+full scan — so a hash-index equality probe is *always* preferred over a
+full scan even when both estimates collapse to zero (empty tables).
+That tie-break is what keeps the planner a strict generalization of the
+old hard-coded equality-index-or-scan rule: for every query the old
+executor could plan, the new planner provably makes the same choice.
+
+Plans are exposed on :class:`~repro.rdbms.executor.ResultSet` via the
+``plan`` attribute; ``plan.render()`` produces EXPLAIN-style text that
+includes the rejected alternatives with their estimates.  The plan tree
+covers access paths and joins — projection, grouping and sorting are
+not costed (they are CPU-side and charged by the server's cost model
+through ``rows_scanned``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "AccessChoice",
+    "PlanNode",
+    "QueryPlan",
+    "choose_path",
+    "scan_node",
+    "PATH_RANK",
+]
+
+# Tie-break order between access-path kinds with equal estimates.
+PATH_RANK: Dict[str, int] = {
+    "index-eq": 0,
+    "index-prefix": 1,
+    "index-range": 2,
+    "full-scan": 3,
+}
+
+_RENDER_NAMES = {
+    "index-eq": "IndexEq",
+    "index-prefix": "IndexPrefix",
+    "index-range": "IndexRange",
+    "full-scan": "FullScan",
+    "nested-loop-join": "NestedLoopJoin",
+    "insert": "Insert",
+}
+
+
+@dataclass(frozen=True)
+class AccessChoice:
+    """One candidate access path with its cost estimates."""
+
+    kind: str  # a PATH_RANK key
+    table: str
+    column: Optional[str]
+    detail: str  # human-readable predicate summary, e.g. "category = 1"
+    est_blocks: int
+    est_records: int
+
+    @property
+    def rank(self) -> int:
+        return PATH_RANK[self.kind]
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (self.est_blocks, self.est_records, self.rank)
+
+    def describe(self) -> str:
+        name = _RENDER_NAMES.get(self.kind, self.kind)
+        target = f"{self.table}.{self.column}" if self.column else self.table
+        return (
+            f"{name} {target} [{self.detail}] "
+            f"(est_blocks={self.est_blocks}, est_records={self.est_records})"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "table": self.table,
+            "column": self.column,
+            "detail": self.detail,
+            "est_blocks": self.est_blocks,
+            "est_records": self.est_records,
+        }
+
+
+def choose_path(candidates: List[AccessChoice]) -> AccessChoice:
+    """The cheapest candidate by (blocks, records, rank).
+
+    ``min`` is stable, so among candidates with identical keys the one
+    listed first wins — callers list the legacy-compatible choice first.
+    """
+    return min(candidates, key=AccessChoice.sort_key)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator in a query plan tree."""
+
+    op: str  # access-path kind, "nested-loop-join", or "insert"
+    table: str
+    detail: str
+    est_blocks: int
+    est_records: int
+    column: Optional[str] = None  # the index column for index-backed ops
+    children: Tuple["PlanNode", ...] = ()
+    considered: Tuple[AccessChoice, ...] = ()  # rejected alternatives
+
+    def walk(self) -> Iterator["PlanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> List[str]:
+        pad = "  " * indent
+        name = _RENDER_NAMES.get(self.op, self.op)
+        target = f"{self.table}.{self.column}" if self.column else self.table
+        lines = [
+            f"{pad}-> {name} {target} [{self.detail}] "
+            f"(est_blocks={self.est_blocks}, est_records={self.est_records})"
+        ]
+        for alternative in self.considered:
+            lines.append(f"{pad}     rejected: {alternative.describe()}")
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+    def as_dict(self) -> Dict[str, Any]:
+        node: Dict[str, Any] = {
+            "op": self.op,
+            "table": self.table,
+            "column": self.column,
+            "detail": self.detail,
+            "est_blocks": self.est_blocks,
+            "est_records": self.est_records,
+        }
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        if self.considered:
+            node["considered"] = [choice.as_dict() for choice in self.considered]
+        return node
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The chosen plan for one statement, EXPLAIN-renderable."""
+
+    root: PlanNode
+    statement_kind: str = "select"
+
+    def render(self) -> str:
+        lines = [f"QUERY PLAN ({self.statement_kind})"]
+        lines.extend(self.root.render(indent=0))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"statement": self.statement_kind, "root": self.root.as_dict()}
+
+    def access_paths(self) -> List[PlanNode]:
+        """The scan/lookup leaves, in execution order (for counter checks)."""
+        return [node for node in self.root.walk() if node.op in PATH_RANK]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def scan_node(
+    chosen: AccessChoice, considered: List[AccessChoice]
+) -> PlanNode:
+    """A leaf node for ``chosen``, recording every rejected alternative."""
+    rejected = tuple(c for c in considered if c is not chosen)
+    return PlanNode(
+        op=chosen.kind,
+        table=chosen.table,
+        detail=chosen.detail,
+        est_blocks=chosen.est_blocks,
+        est_records=chosen.est_records,
+        column=chosen.column,
+        considered=rejected,
+    )

@@ -11,6 +11,7 @@ Grammar (informal)::
     select   := SELECT select_list FROM table_ref (JOIN table_ref ON eq)*
                 [WHERE expr] [GROUP BY column] [ORDER BY column [ASC|DESC]]
                 [LIMIT int]
+    expr     := comparisons, LIKE, IN, BETWEEN, AND/OR/NOT, parentheses
     insert   := INSERT INTO name '(' columns ')' VALUES '(' values ')'
     update   := UPDATE name SET assignments [WHERE expr]
     delete   := DELETE FROM name [WHERE expr]
@@ -180,7 +181,7 @@ _KEYWORDS = {
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "JOIN", "ON", "AS",
     "GROUP", "ORDER", "BY", "ASC", "DESC", "LIMIT", "INSERT", "INTO",
     "VALUES", "UPDATE", "SET", "DELETE", "LIKE", "IN", "NULL", "TRUE",
-    "FALSE", "INNER",
+    "FALSE", "INNER", "BETWEEN",
 }
 
 
@@ -423,6 +424,16 @@ class _Parser:
                 raise self._error("LIKE requires a column on the left")
             self._advance()
             return Like(left, self._value())
+        if token.kind == "keyword" and token.text == "BETWEEN":
+            # Desugar to a pair of inclusive range comparisons; the
+            # planner recombines them into one ordered-index range scan.
+            self._advance()
+            low = self._value()
+            self._expect_keyword("AND")
+            high = self._value()
+            return And(
+                (Comparison(left, ">=", low), Comparison(left, "<=", high))
+            )
         if token.kind == "keyword" and token.text == "IN":
             if not isinstance(left, ColumnRef):
                 raise self._error("IN requires a column on the left")

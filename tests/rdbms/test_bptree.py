@@ -1,0 +1,143 @@
+"""Unit and property tests for the ordered-index B+-tree."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdbms.bptree import BPlusTree
+
+_settings = settings(max_examples=60, deadline=None)
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert not tree
+    assert tree.get(1) is None
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+    assert list(tree.items()) == []
+
+
+def test_add_and_get_buckets():
+    tree = BPlusTree()
+    tree.add(5, "a")
+    tree.add(5, "b")
+    tree.add(3, "c")
+    assert len(tree) == 2  # distinct keys, not row keys
+    assert tree.get(5) == {"a", "b"}
+    assert tree.get(3) == {"c"}
+    assert tree.min_key() == 3
+    assert tree.max_key() == 5
+
+
+def test_splits_preserve_order_and_lookups():
+    tree = BPlusTree(order=4)
+    keys = list(range(200))
+    random.Random(7).shuffle(keys)
+    for key in keys:
+        tree.add(key, f"row{key}")
+    assert len(tree) == 200
+    assert tree.height > 1
+    assert [k for k, _ in tree.items()] == list(range(200))
+    for key in (0, 57, 199):
+        assert tree.get(key) == {f"row{key}"}
+
+
+def test_discard_prunes_empty_buckets():
+    tree = BPlusTree(order=4)
+    for key in range(50):
+        tree.add(key, "x")
+        tree.add(key, "y")
+    tree.discard(10, "x")
+    assert tree.get(10) == {"y"}
+    tree.discard(10, "y")
+    assert tree.get(10) is None
+    assert len(tree) == 49
+    assert [k for k, _ in tree.items()] == [k for k in range(50) if k != 10]
+
+
+def test_lazy_deletion_keeps_scans_correct_over_empty_leaves():
+    tree = BPlusTree(order=4)
+    for key in range(100):
+        tree.add(key, key)
+    # Empty out a whole stretch of leaves, including the rightmost.
+    for key in list(range(20, 60)) + list(range(90, 100)):
+        tree.discard(key, key)
+    assert len(tree) == 50
+    assert [k for k, _ in tree.items()] == list(range(20)) + list(range(60, 90))
+    assert tree.min_key() == 0
+    assert tree.max_key() == 89  # rightmost leaf emptied; chain-walk fallback
+    assert [k for k, _ in tree.range_items(15, 65)] == list(range(15, 20)) + list(
+        range(60, 66)
+    )
+
+
+def test_range_items_bounds():
+    tree = BPlusTree(order=4)
+    for key in range(0, 20, 2):
+        tree.add(key, key)
+    assert [k for k, _ in tree.range_items(4, 10)] == [4, 6, 8, 10]
+    assert [k for k, _ in tree.range_items(4, 10, lo_inclusive=False)] == [6, 8, 10]
+    assert [k for k, _ in tree.range_items(4, 10, hi_inclusive=False)] == [4, 6, 8]
+    assert [k for k, _ in tree.range_items(None, 4)] == [0, 2, 4]
+    assert [k for k, _ in tree.range_items(14, None)] == [14, 16, 18]
+    assert [k for k, _ in tree.range_items(5, 5)] == []
+
+
+def test_prefix_items():
+    tree = BPlusTree(order=4)
+    for word in ["apple", "apricot", "banana", "appetite", "cherry", "app"]:
+        tree.add(word, word)
+    assert [k for k, _ in tree.prefix_items("app")] == ["app", "appetite", "apple"]
+    assert [k for k, _ in tree.prefix_items("z")] == []
+
+
+def test_clear():
+    tree = BPlusTree(order=4)
+    for key in range(30):
+        tree.add(key, key)
+    tree.clear()
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+    tree.add(1, "a")
+    assert tree.get(1) == {"a"}
+
+
+operations_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "discard"]),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=200,
+)
+
+
+@given(operations=operations_strategy)
+@_settings
+def test_matches_dict_model(operations):
+    """Interleaved adds/discards agree with a sorted-dict reference model."""
+    tree = BPlusTree(order=4)
+    model = {}
+    for op, key, row_key in operations:
+        if op == "add":
+            tree.add(key, row_key)
+            model.setdefault(key, set()).add(row_key)
+        else:
+            tree.discard(key, row_key)
+            bucket = model.get(key)
+            if bucket is not None:
+                bucket.discard(row_key)
+                if not bucket:
+                    del model[key]
+    assert len(tree) == len(model)
+    assert [(k, b) for k, b in tree.items()] == sorted(model.items())
+    expected_keys = sorted(model)
+    assert tree.min_key() == (expected_keys[0] if expected_keys else None)
+    assert tree.max_key() == (expected_keys[-1] if expected_keys else None)
+    for key in range(31):
+        assert tree.get(key) == model.get(key)
+    in_range = [k for k in expected_keys if 8 <= k <= 22]
+    assert [k for k, _ in tree.range_items(8, 22)] == in_range

@@ -239,3 +239,38 @@ def test_group_by_respects_where(db):
 def test_group_by_star_rejected(db):
     with pytest.raises(ExecutionError):
         db.execute("SELECT * FROM items GROUP BY category")
+
+
+def test_group_by_order_by_alias(db):
+    result = db.execute(
+        "SELECT category AS cat, COUNT(*) AS n FROM items "
+        "GROUP BY category ORDER BY cat DESC"
+    )
+    assert [r["cat"] for r in result.rows] == [2, 1, 0]
+
+
+def test_group_by_order_by_raw_column_resolves_to_alias(db):
+    # Regression: output rows are keyed by output names, so ORDER BY on the
+    # *raw* source column of an aliased item used to see only missing keys
+    # and silently keep input order.
+    result = db.execute(
+        "SELECT category AS cat, COUNT(*) AS n FROM items "
+        "GROUP BY category ORDER BY category DESC"
+    )
+    assert [r["cat"] for r in result.rows] == [2, 1, 0]
+    result = db.execute(
+        "SELECT category AS cat, SUM(price) AS total FROM items "
+        "GROUP BY category ORDER BY category"
+    )
+    assert [r["cat"] for r in result.rows] == [0, 1, 2]
+
+
+def test_group_by_order_by_aliased_aggregate_raw_column(db):
+    # ORDER BY names the aggregate's source column; it must resolve to the
+    # aggregate's output alias.
+    result = db.execute(
+        "SELECT category, SUM(price) AS total FROM items "
+        "GROUP BY category ORDER BY price DESC"
+    )
+    totals = [r["total"] for r in result.rows]
+    assert totals == sorted(totals, reverse=True)

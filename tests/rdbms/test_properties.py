@@ -139,3 +139,115 @@ def test_like_agrees_with_substring(needle, rows):
     result = db.execute("SELECT id FROM t WHERE txt LIKE ?", (f"%{needle}%",))
     expected = sorted(r[0] for r in rows if needle.lower() in r[2].lower())
     assert sorted(result.column("id")) == expected
+
+
+def _index_families_consistent(table):
+    """Assert hash and ordered indexes exactly mirror the stored rows."""
+    rows = table._rows
+    for column, index in table._indexes.items():
+        expected = {}
+        for key, row in rows.items():
+            expected.setdefault(row[column], set()).add(key)
+        assert index == expected, f"hash index on {column} diverged"
+        assert all(bucket for bucket in index.values()), "empty hash bucket"
+    for column, tree in table._ordered.items():
+        expected = {}
+        for key, row in rows.items():
+            value = row[column]
+            if value is None:
+                continue
+            ordered_key = value.lower() if table._casefolded[column] else value
+            expected.setdefault(ordered_key, set()).add(key)
+        actual = {key: set(bucket) for key, bucket in tree.items()}
+        assert actual == expected, f"ordered index on {column} diverged"
+        assert len(tree) == len(expected)
+
+
+@given(
+    rows=rows_strategy,
+    deletions=st.lists(st.integers(min_value=0, max_value=10_000), max_size=60),
+)
+@_settings
+def test_delete_heavy_churn_leaves_no_empty_buckets(rows, deletions):
+    """Deletes prune hash buckets and tree keys instead of leaving husks."""
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    table = db.table("t")
+    live = {r[0] for r in rows}
+    for key in deletions:
+        if key in live:
+            db.execute("DELETE FROM t WHERE id = ?", (key,))
+            live.discard(key)
+    _index_families_consistent(table)
+    # Distinct counts (the planner's statistics) match the live data.
+    assert table.distinct_count("grp") == len({r[1] for r in rows if r[0] in live})
+
+
+@given(
+    rows=rows_strategy,
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["update", "delete", "insert", "rollback_point"]),
+            st.integers(min_value=0, max_value=10_000),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=25,
+    ),
+)
+@_settings
+def test_restore_rebuilds_hash_and_ordered_indexes(rows, operations):
+    """After interleaved mutations + rollback, both index families match
+    a freshly rebuilt table (``restore()`` maintains them together)."""
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    table = db.table("t")
+    tx = db.begin()
+    existing = {r[0] for r in rows}
+    for op, key, grp in operations:
+        if op == "update" and key in existing:
+            db.execute(
+                "UPDATE t SET grp = ?, txt = 'upd' WHERE id = ?",
+                (grp, key),
+                transaction=tx,
+            )
+        elif op == "delete" and key in existing:
+            db.execute("DELETE FROM t WHERE id = ?", (key,), transaction=tx)
+            existing.discard(key)
+        elif op == "insert" and key not in existing:
+            db.execute(
+                "INSERT INTO t (id, grp, txt) VALUES (?, ?, 'new')",
+                (key, grp),
+                transaction=tx,
+            )
+            existing.add(key)
+    tx.rollback()
+    _index_families_consistent(table)
+    # Ordered probes agree with predicate evaluation after the rollback.
+    ranged = db.execute("SELECT id FROM t WHERE id >= ? AND id <= ?", (0, 5_000))
+    expected = sorted(r[0] for r in rows if r[0] <= 5_000)
+    assert sorted(ranged.column("id")) == expected
+
+
+@given(rows=rows_strategy, lo=st.integers(min_value=0, max_value=10_000))
+@_settings
+def test_range_scan_equivalence(rows, lo):
+    """Ordered-index range results equal what a full scan would produce,
+    and the executor's counters record the planner's actual choice."""
+    db = _make_db()
+    for row_id, grp, txt in rows:
+        db.execute("INSERT INTO t (id, grp, txt) VALUES (?, ?, ?)", (row_id, grp, txt))
+    executor = db.executor
+    before = (executor.index_scans, executor.full_scans, executor.range_scans)
+    result = db.execute("SELECT id FROM t WHERE id >= ?", (lo,))
+    expected = sorted(r[0] for r in rows if r[0] >= lo)
+    assert sorted(result.column("id")) == expected
+    chosen = result.plan.root.op
+    after = (executor.index_scans, executor.full_scans, executor.range_scans)
+    if chosen == "index-range":
+        assert result.used_index == "t.id"
+        assert after == (before[0] + 1, before[1], before[2] + 1)
+    else:
+        assert chosen == "full-scan" and result.used_index is None
+        assert after == (before[0], before[1] + 1, before[2])

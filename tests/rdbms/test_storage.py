@@ -188,3 +188,64 @@ def test_truncate_and_bulk_load(table):
     table.truncate()
     assert len(table) == 0
     assert table.index_lookup("city", "nyc") == []
+
+
+# ---------------------------------------------------------------------------
+# Empty-bucket pruning (delete/update must not leave index garbage)
+# ---------------------------------------------------------------------------
+
+
+def test_delete_prunes_empty_hash_buckets(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    table.insert({"id": 2, "name": "bob", "city": "nyc"})
+    table.delete(1)
+    assert "nyc" in table._indexes["city"]  # bucket still has row 2
+    table.delete(2)
+    assert "nyc" not in table._indexes["city"]
+    assert table.distinct_count("city") == 0
+
+
+def test_update_prunes_empty_hash_buckets(table):
+    table.insert({"id": 1, "name": "ann", "city": "nyc"})
+    table.update(1, {"city": "sf"})
+    assert "nyc" not in table._indexes["city"]
+    assert table._indexes["city"]["sf"] == {1}
+    assert table.distinct_count("city") == 1
+
+
+def test_ordered_index_range_and_prefix_lookup(table):
+    for i, city in enumerate(["Austin", "boston", "Boise", "chicago"]):
+        table.insert({"id": i, "name": f"p{i}", "city": city})
+    # TEXT ordered indexes are casefolded: prefix lookup is case-insensitive.
+    rows = table.prefix_lookup("city", "BO")
+    assert sorted(r["city"] for r in rows) == ["Boise", "boston"]
+    # The INTEGER primary key serves ordered range probes.
+    rows = table.range_lookup("id", 1, 2)
+    assert [r["id"] for r in rows] == [1, 2]
+    rows = table.range_lookup("id", 1, 3, lo_inclusive=False, hi_inclusive=False)
+    assert [r["id"] for r in rows] == [2]
+
+
+def test_column_min_max_tracks_mutations(table):
+    assert table.column_min_max("id") is None
+    for i in range(5):
+        table.insert({"id": i, "name": f"p{i}", "city": "nyc"})
+    assert table.column_min_max("id") == (0, 4)
+    table.delete(4)
+    assert table.column_min_max("id") == (0, 3)
+
+
+def test_ordered_index_skips_null_values():
+    schema = TableSchema(
+        "n",
+        [Column("id", INTEGER), Column("score", INTEGER, nullable=True)],
+        primary_key="id",
+        indexes=["score"],
+    )
+    t = Table(schema)
+    t.insert({"id": 1, "score": None})
+    t.insert({"id": 2, "score": 7})
+    assert [r["id"] for r in t.range_lookup("score", 0, 10)] == [2]
+    assert t.column_min_max("score") == (7, 7)
+    t.delete(1)  # deleting the NULL row must not touch the tree
+    assert t.column_min_max("score") == (7, 7)
