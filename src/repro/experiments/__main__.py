@@ -23,6 +23,8 @@ for any ``--jobs`` value too.
 
 Beyond the paper's grid::
 
+    python -m repro.experiments table7 --workload open --arrival pareto \
+        --scenario flash-crowd --session-rate 20 --max-sessions 5000
     python -m repro.experiments table6 --edges 4 --wan-latency 50
     python -m repro.experiments table7 --policy policies/replicas-one-edge.json
     python -m repro.experiments plan --app petstore --level 3
@@ -51,6 +53,7 @@ from ..faults.report import (
 )
 from ..faults.scenarios import SCENARIOS, load_schedule
 from ..simnet.topology import TopologyOverrides
+from ..workload.openloop import ARRIVALS, SCENARIOS as OPENLOOP_SCENARIOS, OpenLoopConfig
 from .calibration import SIM_DURATION_MS, SIM_WARMUP_MS, default_workload
 from .figures import build_figure, figure_to_csv, render_figure
 from .parallel import default_jobs, run_cells
@@ -289,6 +292,50 @@ def main(argv=None) -> int:
         "paper's 3)",
     )
     parser.add_argument(
+        "--workload",
+        choices=("closed", "open"),
+        default="closed",
+        help="client model: 'closed' is the paper's fixed population with "
+        "soft think times; 'open' spawns independent sessions from an "
+        "arrival process (see repro.workload.openloop)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=ARRIVALS,
+        default="poisson",
+        help="(open loop) inter-arrival law (default %(default)s)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=OPENLOOP_SCENARIOS,
+        default="steady",
+        help="(open loop) rate-modulation scenario (default %(default)s)",
+    )
+    parser.add_argument(
+        "--session-rate",
+        type=float,
+        default=10.0,
+        metavar="PER_S",
+        help="(open loop) mean session arrivals per second "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=0,
+        metavar="N",
+        help="(open loop) admission cap on concurrent sessions; arrivals "
+        "beyond it are dropped (default: unbounded)",
+    )
+    parser.add_argument(
+        "--think-time",
+        type=float,
+        default=7.0,
+        metavar="S",
+        help="(open loop) mean think time between a session's pages in "
+        "seconds (default %(default)s)",
+    )
+    parser.add_argument(
         "--app",
         choices=("petstore", "rubis"),
         default=None,
@@ -372,6 +419,12 @@ def main(argv=None) -> int:
         if args.faults is not None:
             print("[faults] --faults is not supported for ablations", file=sys.stderr)
             return 2
+        if args.workload == "open":
+            print(
+                "[workload] --workload open is not supported for ablations",
+                file=sys.stderr,
+            )
+            return 2
         if policy is not None or topology is not None:
             print(
                 "[policy] --policy/--edges/--wan-latency/--clients-per-group "
@@ -391,6 +444,26 @@ def main(argv=None) -> int:
 
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
     workload = default_workload(args.duration * 1000.0, args.warmup * 1000.0)
+    openloop = None
+    if args.workload == "open":
+        try:
+            openloop = OpenLoopConfig(
+                arrival=args.arrival,
+                scenario=args.scenario,
+                session_rate_per_s=args.session_rate,
+                duration_ms=args.duration * 1000.0,
+                warmup_ms=args.warmup * 1000.0,
+                think_time_ms=args.think_time * 1000.0,
+                max_sessions=args.max_sessions,
+            )
+        except ValueError as exc:
+            print(f"[workload] {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[workload] open loop: {args.arrival} arrivals at "
+            f"{args.session_rate:g}/s, {args.scenario} scenario",
+            file=sys.stderr,
+        )
     apps_needed = sorted({TARGETS[target][0] for target in targets})
 
     faults = None
@@ -427,6 +500,7 @@ def main(argv=None) -> int:
                 faults=faults,
                 policy=policy,
                 topology=topology,
+                openloop=openloop,
             )
             for app in apps_needed
         }
@@ -445,6 +519,7 @@ def main(argv=None) -> int:
             faults=faults,
             policy=policy,
             topology=topology,
+            openloop=openloop,
         )
         series_cache = {
             app: {level: results[(app, level)] for level in levels}

@@ -35,6 +35,7 @@ from ..faults.schedule import FaultSchedule
 from ..simnet.monitor import ResponseTimeMonitor, TraceSummary
 from ..simnet.topology import TopologyOverrides
 from ..workload.generator import WorkloadConfig
+from ..workload.openloop import OpenLoopConfig
 from . import calibration
 from .progress import ProgressReporter
 
@@ -73,6 +74,9 @@ class CellTask:
     # Testbed overrides (frozen, picklable); None keeps the app's
     # calibrated topology.
     topology: Optional[TopologyOverrides] = None
+    # Open-loop workload (frozen, picklable); None runs the closed-loop
+    # client population described by ``workload``.
+    openloop: Optional[OpenLoopConfig] = None
 
 
 @dataclass
@@ -158,6 +162,7 @@ def _run_cell(task: CellTask) -> CellResult:
         faults=task.faults,
         policy=task.policy,
         topology=task.topology,
+        openloop=task.openloop,
     )
     return CellResult.from_experiment(result)
 
@@ -174,6 +179,7 @@ def run_cells(
     faults: Optional[FaultSchedule] = None,
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
+    openloop: Optional[OpenLoopConfig] = None,
 ) -> Dict[Tuple[str, PatternLevel], CellResult]:
     """Run every (app, level) cell, fanning out across ``jobs`` processes.
 
@@ -198,6 +204,7 @@ def run_cells(
             faults=faults,
             policy=policy,
             topology=topology,
+            openloop=openloop,
         )
         for key in keys
     }
@@ -235,6 +242,7 @@ def run_series_parallel(
     faults: Optional[FaultSchedule] = None,
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
+    openloop: Optional[OpenLoopConfig] = None,
 ) -> Dict[PatternLevel, CellResult]:
     """Parallel counterpart of :func:`~repro.experiments.runner.run_series`.
 
@@ -256,5 +264,6 @@ def run_series_parallel(
         faults=faults,
         policy=policy,
         topology=topology,
+        openloop=openloop,
     )
     return {level: results[(app, level)] for level in levels}

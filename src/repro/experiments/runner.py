@@ -26,7 +26,9 @@ from ..obs.spans import SpanRecorder
 from ..simnet.kernel import Environment
 from ..simnet.monitor import ResponseTimeMonitor, Trace
 from ..simnet.topology import TestbedConfig, TopologyOverrides, build_testbed
+from ..core.usage import WeightedPattern
 from ..workload.generator import LoadGenerator, WorkloadConfig
+from ..workload.openloop import OpenLoopConfig, OpenLoopGenerator, TransitionMatrixPattern
 from . import calibration
 
 __all__ = ["AppSpec", "APPS", "ExperimentResult", "run_configuration", "run_series"]
@@ -103,7 +105,9 @@ class ExperimentResult:
     level: PatternLevel
     monitor: ResponseTimeMonitor
     system: DeployedSystem
-    generator: LoadGenerator
+    # LoadGenerator (closed loop) or OpenLoopGenerator (open loop); both
+    # expose the reporting surface the tables and artifacts consume.
+    generator: object
     wall_seconds: float
     trace: Optional[Trace] = None
     spans: Optional[SpanRecorder] = None
@@ -153,6 +157,7 @@ class ExperimentResult:
             timeouts=snapshot.get("rmi_timeouts", 0),
             failovers=snapshot.get("failovers", 0),
             dropped_updates=snapshot.get("dropped_updates", 0),
+            dropped_sessions=snapshot.get("dropped_sessions", 0),
         )
 
 
@@ -179,6 +184,8 @@ def run_configuration(
     faults: Optional[FaultSchedule] = None,
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
+    openloop: Optional[OpenLoopConfig] = None,
+    browser_pattern=None,
 ) -> ExperimentResult:
     """Run one (application, configuration) cell of the evaluation.
 
@@ -187,6 +194,14 @@ def run_configuration(
     :class:`PlacementPolicy` — ``level`` is then ignored and the
     policy's metadata level picks the application era.  ``topology``
     optionally overrides the app's calibrated testbed knobs.
+
+    ``openloop`` swaps the closed-loop client population for the
+    open-loop arrival engine (:mod:`repro.workload.openloop`); the
+    closed-loop ``workload`` config is then ignored.  Browser sessions
+    become per-session Markov walks over the app's weighted page mix.
+    ``browser_pattern`` optionally replaces the app's stock browse mix:
+    a callable taking the populated catalog and returning a usage
+    pattern, exactly like :attr:`AppSpec.browser_pattern`.
     """
     from ..middleware.context import reset_ids
     from ..simnet.rng import Streams
@@ -233,14 +248,28 @@ def run_configuration(
         # An empty schedule installs nothing at all — no kernel events,
         # no RNG draws — so fault-free runs stay byte-identical.
         injector = FaultInjector(faults, streams).install(env, system)
-    generator = LoadGenerator(
-        system,
-        streams,
-        spec.browser_pattern(catalog),
-        spec.writer_pattern(catalog),
-        config=workload,
-        writer_group_name=spec.writer_group,
-    )
+    browser_factory = browser_pattern or spec.browser_pattern
+    if openloop is not None:
+        browser = browser_factory(catalog)
+        if isinstance(browser, WeightedPattern):
+            browser = TransitionMatrixPattern(browser)
+        generator = OpenLoopGenerator(
+            system,
+            streams,
+            browser,
+            spec.writer_pattern(catalog),
+            config=openloop,
+            writer_group_name=spec.writer_group,
+        )
+    else:
+        generator = LoadGenerator(
+            system,
+            streams,
+            browser_factory(catalog),
+            spec.writer_pattern(catalog),
+            config=workload,
+            writer_group_name=spec.writer_group,
+        )
     started = time.perf_counter()
     monitor = generator.run(env)
     wall = time.perf_counter() - started
@@ -280,6 +309,7 @@ def run_series(
     faults: Optional[FaultSchedule] = None,
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
+    openloop: Optional[OpenLoopConfig] = None,
 ) -> Dict[PatternLevel, "ExperimentResult"]:
     """All five configurations of one application (Tables 6/7).
 
@@ -327,6 +357,7 @@ def run_series(
                 faults=faults,
                 policy=policy,
                 topology=topology,
+                openloop=openloop,
             )
     results: Dict[PatternLevel, ExperimentResult] = {}
     for level in levels:
@@ -345,6 +376,7 @@ def run_series(
                 faults=faults,
                 policy=policy,
                 topology=topology,
+                openloop=openloop,
             )
             dump_cell_profile(f"{app} L{int(level)}", stats, sys.stderr)
         else:
@@ -359,6 +391,7 @@ def run_series(
                 faults=faults,
                 policy=policy,
                 topology=topology,
+                openloop=openloop,
             )
         results[level] = result
         if progress is not None:

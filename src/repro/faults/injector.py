@@ -95,40 +95,40 @@ class FaultInjector:
     # -- fault processes ----------------------------------------------------
     def _run_partition(self, env, link, fault):
         if fault.start > 0:
-            yield env.timeout(fault.start)
+            yield env.sleep(fault.start)
         link.set_down(True)
         self.partitions_applied += 1
         span = self._open_span(f"partition {link.name}", fault.a)
-        yield env.timeout(fault.end - fault.start)
+        yield env.sleep(fault.end - fault.start)
         link.set_down(False)
         self._close_span(span)
 
     def _run_latency_spike(self, env, link, fault, rng):
         if fault.start > 0:
-            yield env.timeout(fault.start)
+            yield env.sleep(fault.start)
         link.set_latency_fault(fault.extra_ms, fault.jitter_ms, rng=rng)
         self.latency_spikes_applied += 1
         span = self._open_span(f"latency-spike {link.name}", fault.a)
-        yield env.timeout(fault.end - fault.start)
+        yield env.sleep(fault.end - fault.start)
         link.clear_latency_fault()
         self._close_span(span)
 
     def _run_loss_window(self, env, link, fault, rng):
         if fault.start > 0:
-            yield env.timeout(fault.start)
+            yield env.sleep(fault.start)
         link.set_loss(fault.probability, rng=rng)
         self.loss_windows_applied += 1
         span = self._open_span(f"loss {link.name}", fault.a)
-        yield env.timeout(fault.end - fault.start)
+        yield env.sleep(fault.end - fault.start)
         link.clear_loss()
         self._close_span(span)
 
     def _run_crash(self, env, server, fault):
         if fault.start > 0:
-            yield env.timeout(fault.start)
+            yield env.sleep(fault.start)
         server.crash()
         self.crashes_applied += 1
         span = self._open_span(f"crash {server.name}", server.node.name)
-        yield env.timeout(fault.end - fault.start)
+        yield env.sleep(fault.end - fault.start)
         server.restart()
         self._close_span(span)

@@ -40,8 +40,18 @@ def collect_resilience(system, generator=None) -> dict:
     }
     if generator is not None:
         data["requests"] = generator.total_requests()
-        data["errors"] = sum(client.errors for client in generator.clients)
-        data["failovers"] = sum(client.failovers for client in generator.clients)
+        clients = getattr(generator, "clients", None)
+        if clients is not None:
+            data["errors"] = sum(client.errors for client in clients)
+            data["failovers"] = sum(client.failovers for client in clients)
+        else:
+            # Open-loop generator: counters live on the generator itself,
+            # and dropped arrivals are a resilience fact of their own.
+            # The key is only present for open-loop runs, so closed-loop
+            # artifacts stay byte-identical.
+            data["errors"] = generator.errors
+            data["failovers"] = generator.failovers
+            data["dropped_sessions"] = generator.dropped_sessions
     if stats is not None:
         stats.finalize(system.env.now)
         data.update(stats.to_dict())

@@ -182,7 +182,7 @@ class JmsProvider:
                     self.redeliveries += 1
                     if stats is not None:
                         stats.jms_redeliveries += 1
-                    yield self.env.timeout(
+                    yield self.env.sleep(
                         backoff_delay(
                             costs.jms_redelivery_backoff_ms,
                             costs.rmi_backoff_cap_ms,

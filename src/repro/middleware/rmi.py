@@ -173,7 +173,7 @@ class RemoteRef(ComponentRef):
                         ) from error
                     if stats is not None:
                         stats.rmi_retries += 1
-                    yield ctx.env.timeout(
+                    yield ctx.env.sleep(
                         backoff_delay(
                             costs.rmi_backoff_base_ms, costs.rmi_backoff_cap_ms, attempt
                         )
@@ -239,7 +239,7 @@ class RemoteRef(ComponentRef):
         if costs.rmi_dgc_fraction > 0:
             dgc_delay = costs.rmi_dgc_fraction * 2.0 * network.path_latency(src, dst)
             if dgc_delay > 0:
-                yield ctx.env.timeout(dgc_delay)
+                yield ctx.env.sleep(dgc_delay)
             dgc_bytes = request_bytes + response_bytes
             ctx.env.process(
                 self._dgc_traffic(network, src, dst, dgc_bytes),

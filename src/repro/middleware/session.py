@@ -173,7 +173,7 @@ class StatefulSessionContainer(BaseContainer):
             self._instances[key] = instance
             self.activations += 1
             yield from ctx.cpu(self.PASSIVATION_IO_MS)
-            yield ctx.env.timeout(self.PASSIVATION_IO_MS)  # store read-back
+            yield ctx.env.sleep(self.PASSIVATION_IO_MS)  # store read-back
 
     def _session_key(self, ctx: InvocationContext, identity: Any) -> str:
         if identity is not None:

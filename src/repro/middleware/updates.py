@@ -370,7 +370,7 @@ class UpdatePropagator:
     def _flush_after(
         self, ctx: InvocationContext, delay: float
     ) -> Generator[Event, Any, None]:
-        yield ctx.env.timeout(delay)
+        yield ctx.env.sleep(delay)
         if not self._bounded_buffer:
             return  # an earlier flush already drained the buffer
         self._flush_scheduled = False

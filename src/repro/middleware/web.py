@@ -129,7 +129,7 @@ class ServletContainer:
         yield from ctx.cpu(ctx.costs.servlet_base)
         if ctx.costs.servlet_io_wait > 0:
             # Stack latency that does not occupy a CPU (see MiddlewareCosts).
-            yield ctx.env.timeout(ctx.costs.servlet_io_wait)
+            yield ctx.env.sleep(ctx.costs.servlet_io_wait)
         response = yield from run_business_method(
             self.instance, "handle", ctx, (request,)
         )
@@ -168,7 +168,7 @@ def http_get(
     """
     if not server.available:
         # The connection attempt hangs until the client-side timeout.
-        yield env.timeout(CONNECT_TIMEOUT_MS)
+        yield env.sleep(CONNECT_TIMEOUT_MS)
         raise ServerUnavailable(server.name)
     network = server.network
     costs = server.costs

@@ -327,12 +327,28 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
 
     if generator is not None:
         registry.counter("workload.requests").inc(generator.total_requests())
-        registry.counter("workload.errors").inc(
-            sum(client.errors for client in generator.clients)
-        )
-        registry.counter("workload.failovers").inc(
-            sum(client.failovers for client in generator.clients)
-        )
+        clients = getattr(generator, "clients", None)
+        if clients is not None:
+            registry.counter("workload.errors").inc(
+                sum(client.errors for client in clients)
+            )
+            registry.counter("workload.failovers").inc(
+                sum(client.failovers for client in clients)
+            )
+        else:
+            # Open-loop generator: per-run session health.  These names
+            # exist only for open-loop runs, so closed-loop metrics
+            # snapshots stay byte-identical with earlier releases.
+            registry.counter("workload.errors").inc(generator.errors)
+            registry.counter("workload.failovers").inc(generator.failovers)
+            registry.counter("workload.sessions_arrived").inc(generator.arrivals)
+            registry.counter("workload.sessions_admitted").inc(generator.admitted)
+            registry.counter("workload.sessions_completed").inc(generator.completions)
+            registry.counter("workload.sessions_dropped").inc(
+                generator.dropped_sessions
+            )
+            registry.gauge("workload.sessions_active").set(float(generator.active))
+            registry.gauge("workload.sessions_peak").set(float(generator.peak_active))
 
     # Resilience counters are emitted only when nonzero: a fault-free run
     # produces a metrics snapshot byte-identical to one taken before the

@@ -17,10 +17,49 @@ Design notes
   fire in schedule order (a monotonically increasing sequence number breaks
   ties), which makes simulations reproducible byte-for-byte.
 * Scheduling is two-tier: items due *now* (triggered events, deferred
-  calls, zero-delay timeouts) go to a FIFO ready queue; only items with a
-  strictly positive delay pay for the heap.  The run loop merges the two
-  in global (time, sequence) order, so the observable execution order is
-  exactly that of a single unified priority queue.
+  calls, zero-delay timeouts) live in a FIFO ready deque; items due
+  strictly later live in a calendar-queue timer wheel (see below).  When
+  the ready deque drains, the clock advances to the wheel's minimum and
+  **every** entry due at that instant is moved to the deque in one batch.
+  Because future entries are always scheduled at ``now + delay`` with
+  ``delay > 0``, nothing can land *at* the current instant afterwards, so
+  the deque's FIFO order alone reproduces global ``(time, sequence)``
+  order — no per-pop merge between the two tiers is needed.
+
+The timer wheel
+---------------
+
+``heapq`` costs O(log n) per operation and, far worse at scale, keeps a
+single n-entry array that every push/pop churns — at 10^5..10^6 pending
+timers the comparisons and cache misses dominate the whole simulation.
+The wheel replaces it with an epoch-based calendar queue:
+
+* ``_cur`` — the *current bucket*: a list of ``(time, seq, item)``
+  entries kept sorted in **descending** time so the global minimum is
+  ``_cur[-1]`` and removal is an O(1) ``list.pop()``.  Out-of-order
+  insertions merely set a dirty flag; re-sorting is C-speed timsort and
+  adaptive on the nearly-sorted common case.
+* ``_buckets`` — equal-width future buckets whose exclusive upper edges
+  are precomputed in ``_bounds`` (ascending); appends are O(1) with a
+  single C ``bisect_right`` to route, and a bucket is sorted only once,
+  when it is promoted to become the current bucket.
+* ``_overflow`` — an unsorted spill list for entries beyond ``_limit``.
+  When every bucket has been consumed the wheel *re-epochs*: the
+  overflow is sorted **once** (C timsort — adaptive, since the previous
+  epoch's tail is already ordered) and carved into fresh buckets by
+  binary-search slicing, so re-epoching does no per-entry Python work
+  at all.  The new width is derived from the exact 87.5th-percentile
+  span of the pending set (automatic bucket-width resizing), so both
+  uniform and heavy-tailed delay distributions get O(1) amortized
+  scheduling.
+
+Invariants (each proves the dequeue order correct): every ``_cur`` entry
+has ``time < _cur_top``; bucket ``i`` holds ``_bounds[i-1] <= time <
+_bounds[i]`` with ``i >= _idx``; overflow entries have ``time >=
+_limit == _bounds[-1]``; hence the global minimum always lives in
+``_cur``, and two entries with equal time can never sit in different
+tiers.  Rebuild slicing and push routing share the *same* boundary
+floats (``_bounds``), so an entry can never straddle the two rules.
 
 Example
 -------
@@ -39,9 +78,10 @@ Example
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from functools import partial
-from heapq import heappop, heappush
+from operator import itemgetter
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -59,6 +99,14 @@ __all__ = [
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
+
+
+# Sentinel returned by Environment._advance when `until` cuts the run short.
+_BOUNDARY = object()
+
+# Sort/bisect key for wheel entries (C-speed single-float comparisons).
+_entry_time = itemgetter(0)
+_entry_item = itemgetter(2)
 
 
 class Interrupt(Exception):
@@ -102,6 +150,10 @@ class Event:
         "_dispatched",
     )
 
+    # Class-level default read by the dispatch loop: only Process instances
+    # (whose per-instance slot shadows this) can ever be asleep.
+    _sleeping = False
+
     def __init__(self, env: "Environment"):
         self.env = env
         self._callbacks: Optional[List[Callable[["Event"], None]]] = None
@@ -139,9 +191,7 @@ class Event:
         self._triggered = True
         self._scheduled = True
         self._value = value
-        env = self.env
-        env._sequence = sequence = env._sequence + 1
-        env._ready.append((sequence, self))
+        self.env._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -153,9 +203,7 @@ class Event:
         self._triggered = True
         self._scheduled = True
         self._exception = exception
-        env = self.env
-        env._sequence = sequence = env._sequence + 1
-        env._ready.append((sequence, self))
+        self.env._ready.append(self)
         return self
 
     # -- waiting ---------------------------------------------------------
@@ -197,11 +245,23 @@ class Timeout(Event):
         self._scheduled = True
         self._dispatched = False
         self.delay = delay
-        env._sequence = sequence = env._sequence + 1
         if delay == 0.0:
-            env._ready.append((sequence, self))
+            # Due this very instant: the ready deque, not the wheel.
+            env._ready.append(self)
         else:
-            heappush(env._heap, (env._now + delay, sequence, self))
+            # Inlined wheel push (kept in lockstep with Environment._push).
+            time = env._now + delay
+            env._sequence = sequence = env._sequence + 1
+            if time < env._cur_top:
+                env._cur.append((time, sequence, self))
+                env._cur_dirty = True
+            elif time < env._limit:
+                index = bisect_right(env._bounds, time)
+                if index < env._idx:
+                    index = env._idx
+                env._buckets[index].append((time, sequence, self))
+            else:
+                env._overflow.append((time, sequence, self))
 
 
 class Process(Event):
@@ -213,7 +273,19 @@ class Process(Event):
     should never pass silently).
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw", "_interrupts")
+    # _sleeping and _send lead the slot layout so the run loop's two
+    # hot loads land on the same cache line — at 10^6 concurrent
+    # processes every dispatch touches a cold Process object, and one
+    # miss per wake is measurably cheaper than two.
+    __slots__ = (
+        "_sleeping",
+        "_send",
+        "generator",
+        "name",
+        "_waiting_on",
+        "_throw",
+        "_interrupts",
+    )
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -229,7 +301,12 @@ class Process(Event):
         self._throw = generator.throw
         self._interrupts: Optional[List[Interrupt]] = None
         # Bootstrap: start the generator at the current simulation time.
-        env._schedule_call(self._resume_initial)
+        # A brand-new process is indistinguishable from one sleeping for
+        # zero delay — the run loop's fast lane primes the generator
+        # with ``send(None)`` exactly as ``_resume_initial`` would, but
+        # without a deferred-call allocation or a ``_step`` frame.
+        self._sleeping = True
+        env._ready.append(self)
 
     def _resume_initial(self) -> None:
         self._step(None, None)
@@ -243,6 +320,11 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
+        if self._sleeping:
+            raise SimulationError(
+                "cannot interrupt a process suspended in env.sleep(); "
+                "use env.timeout() for interruptible waits"
+            )
         target = self._waiting_on
         if target is not None:
             # Stop listening to whatever we were waiting on.
@@ -270,6 +352,39 @@ class Process(Event):
         else:
             self._step(event._value, None)
 
+    def _finish(self, error: BaseException) -> None:
+        """Handle an exception the generator raised out of send/throw.
+
+        StopIteration/StopProcess are normal completion; anything else
+        fails the process event if someone is waiting on it, or crashes
+        the simulation loudly if nobody is.
+        """
+        if isinstance(error, StopIteration):
+            value = getattr(error, "value", None)
+        elif isinstance(error, StopProcess):
+            self.generator.close()
+            value = error.value
+        elif self._callbacks:
+            self.fail(error)
+            return
+        else:
+            # No waiter to deliver the failure to: crash loudly.
+            raise error
+        # Inlined succeed(): completion is once-per-process but at
+        # million-session scale that is a million dispatches.
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._scheduled = True
+        self._value = value
+        if self._callbacks is None:
+            # Nobody is waiting: skip the ready-deque dispatch entirely.
+            # Marking the event dispatched keeps add_callback()-after-
+            # completion working (it schedules the callback itself).
+            self._dispatched = True
+        else:
+            self.env._ready.append(self)
+
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._triggered:
             return
@@ -278,20 +393,48 @@ class Process(Event):
                 target = self._throw(exc)
             else:
                 target = self._send(value)
-        except StopIteration as stop:
-            self.succeed(getattr(stop, "value", None))
-            return
-        except StopProcess as stop:
-            self.generator.close()
-            self.succeed(stop.value)
-            return
         except BaseException as error:
-            if self._callbacks:
-                self.fail(error)
-            else:
-                # No waiter to deliver the failure to: crash loudly.
-                raise
+            self._finish(error)
             return
+        if target.__class__ is float:
+            # Pure-delay fast lane (`yield env.sleep(d)` / a bare float —
+            # ints stay errors, they are the classic yielded-a-non-event
+            # bug): no Event object, no callback list, no dispatch — the
+            # process itself is the wheel entry (one tuple) or the ready
+            # item (nothing at all); the run loop recognises a sleeping
+            # process by its ``_sleeping`` flag and resumes it directly.
+            env = self.env
+            if target > 0:
+                self._sleeping = True
+                # Inlined wheel push (lockstep with Environment._push).
+                time = env._now + target
+                env._sequence = sequence = env._sequence + 1
+                if time < env._cur_top:
+                    env._cur.append((time, sequence, self))
+                    env._cur_dirty = True
+                elif time < env._limit:
+                    index = bisect_right(env._bounds, time)
+                    if index < env._idx:
+                        index = env._idx
+                    env._buckets[index].append((time, sequence, self))
+                else:
+                    env._overflow.append((time, sequence, self))
+            elif target == 0:
+                self._sleeping = True
+                env._ready.append(self)
+            else:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {target!r}"
+                )
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        """Suspend until ``target`` (an Event) fires.
+
+        The non-float half of target handling, shared by :meth:`_step`
+        and the run loop's inlined resume of sleeping processes.
+        """
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
@@ -322,6 +465,12 @@ class _Condition(Event):
             self.succeed({})
             return
         for event in self.events:
+            if not isinstance(event, Event):
+                raise TypeError(
+                    f"conditions combine Event instances, got {event!r}; "
+                    "env.sleep() delays cannot be combined — use "
+                    "env.timeout() instead"
+                )
             event.add_callback(self._check)
 
     def _collect(self) -> dict:
@@ -372,23 +521,51 @@ class AllOf(_Condition):
 
 
 class Environment:
-    """The simulation world: a clock, a ready queue, and a pending heap.
+    """The simulation world: a clock, a ready deque, and a timer wheel.
 
     Items due at the current instant live in ``_ready`` (a FIFO deque of
-    ``(sequence, item)`` pairs); items due strictly later live in
-    ``_heap`` as ``(time, sequence, item)`` triples.  An *item* is either
-    an :class:`Event` to dispatch or a zero-argument callable.  Sequence
-    numbers are assigned globally, so merging the two queues in
-    ``(time, sequence)`` order reproduces exactly the behaviour of one
-    unified priority queue.
+    bare items); items due strictly later live in the calendar-queue
+    wheel as ``(time, sequence, item)`` triples (see the module
+    docstring).  An *item* is either an :class:`Event` to dispatch or a
+    zero-argument callable.  Whenever the clock advances, every wheel
+    entry due at the new instant moves to the deque in one batch —
+    future entries are always strictly later than ``now``, so deque FIFO
+    order alone equals global ``(time, sequence)`` order.
     """
 
+    __slots__ = (
+        "_now",
+        "_ready",
+        "_sequence",
+        "_active",
+        "_cur",
+        "_cur_dirty",
+        "_cur_top",
+        "_buckets",
+        "_bounds",
+        "_idx",
+        "_limit",
+        "_overflow",
+    )
+
     def __init__(self, initial_time: float = 0.0):
-        self._now = float(initial_time)
-        self._heap: List[tuple] = []
+        now = float(initial_time)
+        self._now = now
         self._ready: deque = deque()
         self._sequence = 0
         self._active = True
+        # -- timer-wheel state (see module docstring) ---------------------
+        self._cur: List[tuple] = []  # descending (time, seq, item) stack
+        self._cur_dirty = False  # _cur needs a re-sort before use
+        self._cur_top = now  # exclusive upper bound of _cur's span
+        self._buckets: List[List[tuple]] = []
+        self._bounds: List[float] = []  # bucket i's exclusive upper edge
+        self._idx = 0  # next bucket to promote
+        self._limit = now  # == _bounds[-1] once an epoch exists
+        self._overflow: List[tuple] = []  # unsorted, time >= _limit
+        # With _cur_top == _limit == now, the first pushes spill to the
+        # overflow list and the first dequeue re-epochs with a width fit
+        # to the actual pending set.
 
     @property
     def now(self) -> float:
@@ -404,6 +581,21 @@ class Environment:
         """An event that fires ``delay`` ms from now."""
         return Timeout(self, delay, value)
 
+    def sleep(self, delay: float) -> float:
+        """A pure delay for ``yield env.sleep(delay)`` — the cheapest wait.
+
+        Unlike :meth:`timeout` no :class:`Event` is allocated: the kernel
+        treats a yielded bare number as "resume me ``delay`` ms from
+        now".  A sleeping process carries no event identity, so it
+        cannot be waited on mid-sleep, combined with
+        ``any_of``/``all_of``, or interrupted.  Use :meth:`timeout` for
+        anything fancier.  (``yield some_float`` directly is equivalent;
+        this method just documents intent and validates eagerly.)
+        """
+        if delay < 0:
+            raise ValueError(f"negative sleep delay: {delay!r}")
+        return float(delay)
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register ``generator`` as a new process starting now."""
         return Process(self, generator, name=name)
@@ -417,51 +609,267 @@ class Environment:
         return AllOf(self, events)
 
     # -- scheduling --------------------------------------------------------
+    def _push(self, time: float, sequence: int, item: Any) -> None:
+        """Insert a future ``(time, sequence, item)`` entry into the wheel.
+
+        ``time`` must be strictly greater than ``now``.  Entries below
+        the current bucket's span join it with a lazy re-sort; entries
+        within the epoch go to their O(1) bucket; the rest spill to the
+        overflow list until the next re-epoch.
+        """
+        if time < self._cur_top:
+            self._cur.append((time, sequence, item))
+            self._cur_dirty = True
+        elif time < self._limit:
+            index = bisect_right(self._bounds, time)
+            if index < self._idx:
+                index = self._idx
+            self._buckets[index].append((time, sequence, item))
+        else:
+            self._overflow.append((time, sequence, item))
+
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
             return
         event._scheduled = True
-        self._sequence = sequence = self._sequence + 1
         if delay == 0.0:
-            self._ready.append((sequence, event))
+            self._ready.append(event)
         else:
-            heappush(self._heap, (self._now + delay, sequence, event))
+            self._sequence = sequence = self._sequence + 1
+            self._push(self._now + delay, sequence, event)
 
     def _schedule_call(self, func: Callable[[], None], delay: float = 0.0) -> None:
-        self._sequence = sequence = self._sequence + 1
         if delay == 0.0:
-            self._ready.append((sequence, func))
+            self._ready.append(func)
         else:
-            heappush(self._heap, (self._now + delay, sequence, func))
+            self._sequence = sequence = self._sequence + 1
+            self._push(self._now + delay, sequence, func)
 
-    # -- execution -----------------------------------------------------------
+    # -- dequeue (the single implementation) -------------------------------
+    def _wheel_min(self) -> Optional[tuple]:
+        """An entry due at the wheel's minimum time, or None if empty.
+
+        Promotes buckets and re-epochs the overflow as needed so a
+        minimum-time entry always ends up at ``_cur[-1]``; never touches
+        the clock.  Every ``_cur`` sort is a *stable* descending sort on
+        the time alone (~3x faster than whole-tuple comparisons), so
+        entries due at the same instant sit in ascending-sequence order
+        left to right — push order, because every append source
+        (bucket carve, in-run pushes, foreign pushes) appends in
+        sequence order.  Dequeuers must therefore take an equal-time
+        group from its *left* edge (see ``_advance`` and ``run``);
+        ``_cur[-1]`` itself is only guaranteed minimal in time, which is
+        all ``peek`` needs.
+        """
+        cur = self._cur
+        while True:
+            if cur:
+                if self._cur_dirty:
+                    cur.sort(key=_entry_time, reverse=True)
+                    self._cur_dirty = False
+                return cur[-1]
+            buckets = self._buckets
+            index = self._idx
+            count = len(buckets)
+            while index < count and not buckets[index]:
+                index += 1
+            if index < count:
+                # Promote the next non-empty bucket to current.  A bucket
+                # untouched since the rebuild is already ascending, so
+                # the reverse sort is an O(k) single-run pass.
+                cur = buckets[index]
+                buckets[index] = []
+                self._cur = cur
+                self._idx = index + 1
+                self._cur_top = self._bounds[index]
+                cur.sort(key=_entry_time, reverse=True)
+                self._cur_dirty = False
+                continue
+            # Every bucket consumed: pushes below _limit now belong in
+            # _cur (keep the routing invariant before re-epoching).
+            self._idx = count
+            self._cur_top = self._limit
+            if not self._overflow:
+                return None
+            self._rebuild()
+            cur = self._cur
+
+    def _rebuild(self) -> None:
+        """Re-epoch: sort the overflow once and slice it into buckets.
+
+        The sort is C timsort — adaptive, because everything the last
+        epoch could not place is appended behind an already-ordered
+        tail — and the per-bucket carve is a binary search plus a list
+        slice, so the rebuild does **no per-entry Python work**.  The
+        epoch is sized automatically: ~256 entries per bucket, with the
+        width derived from the exact 87.5th-percentile span of the
+        pending set so a few far-future stragglers cannot stretch every
+        bucket into uselessness — they simply stay in the overflow.
+        Push routing reuses the very same ``_bounds`` floats the slicer
+        used, so the two can never disagree about an entry's bucket.
+        """
+        items = self._overflow
+        # Stable sort on the time alone == (time, sequence) order, because
+        # overflow entries are appended in sequence order (and a previous
+        # epoch's leftover prefix is both already sorted and lower-sequence
+        # than everything appended after it).  The single-float key sorts
+        # ~3x faster than whole-tuple comparisons at 10^6 entries.
+        items.sort(key=_entry_time)
+        n = len(items)
+        lo = items[0][0]
+        hi = items[(7 * n) // 8][0]
+        buckets_wanted = n // 256
+        count = 8
+        while count < buckets_wanted and count < (1 << 16):
+            count <<= 1
+        span = hi - lo
+        width = span / count if span > 0.0 else 1.0
+        self._bounds = bounds = [lo + (i + 1) * width for i in range(count)]
+        self._limit = limit = bounds[-1]
+        self._idx = 0
+        self._cur_top = lo
+        # A 1-tuple compares below every real entry with the same time,
+        # so bisecting on (boundary,) keeps boundary-equal entries in
+        # the later bucket — exactly matching push routing's `<`.
+        split = bisect_left(items, (limit,))
+        self._overflow = items[split:]
+        buckets = []
+        start = 0
+        for boundary in bounds:
+            end = bisect_left(items, (boundary,), start, split)
+            buckets.append(items[start:end])
+            start = end
+        self._buckets = buckets
+
+    def _advance(self, until: Optional[float] = None) -> Any:
+        """Advance the clock to the next wheel instant and dequeue it.
+
+        Returns the first item due at the new instant; any further
+        entries due at the very same instant move to the ready deque in
+        one batch (in sequence order — future pushes are strictly later,
+        so no wheel entry can ever rejoin the current instant
+        afterwards).  Returns None when the wheel is empty and the
+        module-level ``_BOUNDARY`` sentinel when the next instant lies
+        beyond ``until`` (clock parked at ``until``).
+        """
+        cur = self._cur
+        if not cur:
+            if self._wheel_min() is None:
+                return None
+            cur = self._cur
+        elif self._cur_dirty:
+            cur.sort(key=_entry_time, reverse=True)
+            self._cur_dirty = False
+        time = cur[-1][0]
+        if until is not None and time > until:
+            self._now = until
+            return _BOUNDARY
+        self._now = time
+        i = len(cur) - 1
+        if i and cur[i - 1][0] == time:
+            # Equal-time group: ascending sequence left to right (see
+            # _wheel_min), so the group's left edge dispatches first and
+            # the rest move to the ready deque in forward order.
+            while i and cur[i - 1][0] == time:
+                i -= 1
+            first = cur[i][2]
+            self._ready.extend(map(_entry_item, cur[i + 1 :]))
+            del cur[i:]
+            return first
+        return cur.pop()[2]
+
+    # -- execution ---------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
         """Run until both queues drain or the clock passes ``until``.
 
         Returns the final simulation time.  Events scheduled exactly at
         ``until`` still execute.
         """
-        heap = self._heap
+        if until is not None:
+            return self._run_bounded(until)
+        # The unbounded loop is the workhorse under open-loop load —
+        # ~10^7 dispatches per million-session run — so the wheel
+        # dequeue is inlined here alongside the dispatch: cur-stack pop,
+        # lazy re-sort, and same-instant batching happen without a
+        # method call, and bucket promotion / re-epoch (once per ~256
+        # events) goes through _wheel_min.  step(), peek(), and
+        # _run_bounded share the generic dequeue (_advance); this loop
+        # must stay in lockstep with it.
         ready = self._ready
+        popleft = ready.popleft
+        wheel_min = self._wheel_min
+        time = self._now
+        # Wheel-state locals: these only change inside _wheel_min /
+        # _rebuild (the dequeue side, reached through the `not cur`
+        # branch below), so they are refreshed there and nowhere else.
+        # Pushes from foreign code (timeouts created inside a resumed
+        # generator, callbacks) append to these same list objects and
+        # touch only _sequence / _cur_dirty — both re-read every time.
+        cur = self._cur
+        cur_top = self._cur_top
+        limit = self._limit
+        bounds = self._bounds
+        buckets = self._buckets
+        idx = self._idx
+        overflow = self._overflow
+        extend = ready.extend
+        third = _entry_item
+        sort_key = _entry_time
         while True:
-            if ready:
-                # Heap entries landing exactly *now* with an older sequence
-                # number must run before younger ready entries.
-                if heap and heap[0][0] == self._now and heap[0][1] < ready[0][0]:
-                    item = heappop(heap)[2]
-                else:
-                    item = ready.popleft()[1]
-            elif heap:
-                time = heap[0][0]
-                if until is not None and time > until:
-                    self._now = until
-                    return until
-                item = heappop(heap)[2]
-                self._now = time
-            else:
-                break
-            if isinstance(item, Event):
-                # Inlined dispatch: the single hottest loop in the repo.
+            while ready:
+                item = popleft()
+                # Inlined dispatch: the single hottest loop in the
+                # repo.  The ``_sleeping`` load doubles as the item
+                # discriminator — every Event carries the attribute
+                # (False as a class default), deferred callables lack
+                # it, and since process bootstrap rides the sleep lane,
+                # callables are rare enough that the exception path
+                # costs nothing in aggregate.
+                try:
+                    sleeping = item._sleeping
+                except AttributeError:
+                    item()
+                    continue
+                if sleeping:
+                    # A process parked by `yield env.sleep(d)`: resume
+                    # the generator right here — no event dispatch, no
+                    # callbacks, no _step frame.  The flag stays set
+                    # while the slice runs so a re-sleep costs zero
+                    # flag writes; every exit that is *not* another
+                    # sleep clears it.  Kept in lockstep with
+                    # Process._step's float lane.
+                    try:
+                        target = item._send(None)
+                    except BaseException as error:
+                        item._sleeping = False
+                        item._finish(error)
+                        continue
+                    if target.__class__ is float:
+                        if target > 0:
+                            wake = time + target
+                            self._sequence = sequence = self._sequence + 1
+                            if wake < cur_top:
+                                cur.append((wake, sequence, item))
+                                self._cur_dirty = True
+                            elif wake < limit:
+                                index = bisect_right(bounds, wake)
+                                if index < idx:
+                                    index = idx
+                                buckets[index].append((wake, sequence, item))
+                            else:
+                                overflow.append((wake, sequence, item))
+                        elif target == 0:
+                            ready.append(item)
+                        else:
+                            item._sleeping = False
+                            raise SimulationError(
+                                f"process {item.name!r} yielded a "
+                                f"negative delay: {target!r}"
+                            )
+                    else:
+                        item._sleeping = False
+                        item._wait_on(target)
+                    continue
                 item._triggered = True
                 item._dispatched = True
                 callbacks = item._callbacks
@@ -469,26 +877,79 @@ class Environment:
                     item._callbacks = None
                     for callback in callbacks:
                         callback(item)
+            # Ready drained: advance the wheel.  The whole batch of
+            # entries due at the next timestamp moves to the ready
+            # deque in one splice — C-level slice + map — so the
+            # same-instant case (ms-quantized think times pile dozens
+            # of wakes on one tick) never pays per-entry interpreter
+            # cost.  Equal-time entries sit in ascending-sequence
+            # order left to right (see _wheel_min), so the forward
+            # slice IS fifo order.  Dispatch order is identical to
+            # popping one at a time: anything a batch member schedules
+            # at ``now`` appends *behind* the batch, exactly where its
+            # later sequence number would have put it.
+            if not cur:
+                if wheel_min() is None:
+                    break
+                cur = self._cur
+                cur_top = self._cur_top
+                limit = self._limit
+                bounds = self._bounds
+                buckets = self._buckets
+                idx = self._idx
+                overflow = self._overflow
+                continue
+            if self._cur_dirty:
+                cur.sort(key=sort_key, reverse=True)
+                self._cur_dirty = False
+            time = cur[-1][0]
+            self._now = time
+            i = len(cur) - 1
+            if i and cur[i - 1][0] == time:
+                while i and cur[i - 1][0] == time:
+                    i -= 1
+                extend(map(third, cur[i:]))
+                del cur[i:]
+            else:
+                ready.append(cur.pop()[2])
+        return self._now
+
+    def _run_bounded(self, until: float) -> float:
+        """The ``run(until=...)`` loop: same discipline, generic dequeue.
+
+        Only tests and interactive probes run bounded, so this path
+        trades the tight loop's inlining for the shared _advance
+        implementation and a per-item boundary check.
+        """
+        ready = self._ready
+        popleft = ready.popleft
+        advance = self._advance
+        while True:
+            if ready:
+                item = popleft()
+            else:
+                item = advance(until)
+                if item is None:
+                    break
+                if item is _BOUNDARY:
+                    return until
+            if isinstance(item, Event):
+                self._dispatch(item)
             else:
                 item()
-        if until is not None:
-            self._now = max(self._now, until)
+        if until > self._now:
+            self._now = until
         return self._now
 
     def step(self) -> bool:
         """Execute one scheduled item.  Returns False if nothing is pending."""
-        heap = self._heap
         ready = self._ready
         if ready:
-            if heap and heap[0][0] == self._now and heap[0][1] < ready[0][0]:
-                item = heappop(heap)[2]
-            else:
-                item = ready.popleft()[1]
-        elif heap:
-            time, _sequence, item = heappop(heap)
-            self._now = time
+            item = ready.popleft()
         else:
-            return False
+            item = self._advance()
+            if item is None:
+                return False
         if isinstance(item, Event):
             self._dispatch(item)
         else:
@@ -499,9 +960,14 @@ class Environment:
         """Time of the next scheduled item, or None if nothing is pending."""
         if self._ready:
             return self._now
-        return self._heap[0][0] if self._heap else None
+        entry = self._wheel_min()
+        return entry[0] if entry is not None else None
 
     def _dispatch(self, event: Event) -> None:
+        if event._sleeping:
+            event._sleeping = False
+            event._step(None, None)
+            return
         event._triggered = True
         event._dispatched = True
         callbacks = event._callbacks

@@ -124,6 +124,9 @@ class TraceSummary:
     timeouts: int = 0
     failovers: int = 0
     dropped_updates: int = 0
+    # Open-loop arrivals turned away at the admission cap; always zero
+    # for closed-loop runs, so their digests are unchanged.
+    dropped_sessions: int = 0
 
     def wide_area_calls(self, kind: Optional[str] = None) -> int:
         if kind is not None:
@@ -147,6 +150,7 @@ class TraceSummary:
             (self.timeouts, "timeouts"),
             (self.failovers, "failovers"),
             (self.dropped_updates, "dropped updates"),
+            (self.dropped_sessions, "dropped sessions"),
         ):
             if count:
                 line += f", {count} {noun}"

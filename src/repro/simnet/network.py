@@ -320,7 +320,7 @@ class Network:
         if link.latency_jitter > 0.0:
             extra += link._fault_rng.uniform(0.0, link.latency_jitter)
         if extra > 0.0:
-            yield self.env.timeout(extra)
+            yield self.env.sleep(extra)
 
     # -- monitoring ---------------------------------------------------------
     def traffic_report(self) -> Dict[str, Dict[str, tuple]]:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, Tuple
 
-from .kernel import Environment, Event, SimulationError, Timeout
+from .kernel import Environment, Event, SimulationError
 
 __all__ = ["Resource", "Store", "Semaphore", "Latch", "resource_usage"]
 
@@ -175,7 +175,7 @@ class Resource:
         else:
             yield self.request()
         try:
-            yield Timeout(self.env, duration)
+            yield self.env.sleep(duration)
         finally:
             self.release()
 

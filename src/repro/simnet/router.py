@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
-from .kernel import Environment, Event, Timeout
+from .kernel import Environment, Event
 from .rng import Streams
 
 __all__ = [
@@ -114,7 +114,7 @@ class FixedDelay(Element):
 
     def traverse(self, packet: Packet):
         if self.delay > 0:
-            yield Timeout(self.env, self.delay)
+            yield self.env.sleep(self.delay)
 
 
 class BandwidthShaper(Element):
@@ -161,7 +161,7 @@ class BandwidthShaper(Element):
     def traverse(self, packet: Packet):
         delay = self.occupy(packet.size)
         if delay > 0:
-            yield Timeout(self.env, delay)
+            yield self.env.sleep(delay)
 
     def utilization(self) -> float:
         elapsed = self.env.now - self._started
@@ -205,7 +205,7 @@ class TokenBucketShaper(Element):
         deficit = packet.size - self._tokens
         self._tokens = 0.0
         wait = deficit / self.rate
-        yield self.env.timeout(wait)
+        yield self.env.sleep(wait)
         self._refill()
         self._tokens = max(0.0, self._tokens - deficit)
 
@@ -309,7 +309,7 @@ class ElementChain:
             shaper = elements[1]
             total = shaper.occupy(packet.size) + elements[2].delay
             if total > 0:
-                yield Timeout(shaper.env, total)
+                yield shaper.env.sleep(total)
             return
         for element in elements:
             if element.instant:

@@ -2,5 +2,13 @@
 
 from .client import Client
 from .generator import LoadGenerator, WorkloadConfig
+from .openloop import OpenLoopConfig, OpenLoopGenerator, TransitionMatrixPattern
 
-__all__ = ["Client", "LoadGenerator", "WorkloadConfig"]
+__all__ = [
+    "Client",
+    "LoadGenerator",
+    "WorkloadConfig",
+    "OpenLoopConfig",
+    "OpenLoopGenerator",
+    "TransitionMatrixPattern",
+]

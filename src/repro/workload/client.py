@@ -17,7 +17,7 @@ from ..core.distribution import DeployedSystem
 from ..core.usage import UsagePattern
 from ..middleware.resilience import RETRYABLE_ERRORS, RmiTimeout
 from ..middleware.web import ServerUnavailable, WebRequest, http_get
-from ..simnet.kernel import Environment, Event, Timeout
+from ..simnet.kernel import Environment, Event
 from ..simnet.monitor import ResponseTimeMonitor
 from ..simnet.rng import Streams
 
@@ -64,7 +64,7 @@ class Client:
     def run(self, env: Environment) -> Generator[Event, None, None]:
         """The client process: sessions back-to-back until ``end_time``."""
         if self.start_offset > 0:
-            yield env.timeout(self.start_offset)
+            yield env.sleep(self.start_offset)
         session_index = 0
         while self.end_time is None or env.now < self.end_time:
             session_id = f"c{self.id}-s{session_index}"
@@ -137,7 +137,7 @@ class Client:
                 # Soft delay: the think time absorbs the response time.
                 remaining = self.think_time - response_time
                 if remaining > 0:
-                    yield Timeout(env, remaining)
+                    yield env.sleep(remaining)
                 if session_broken:
                     # The user gives up on this session and starts a new
                     # one after the think time.

@@ -1,0 +1,197 @@
+"""Calendar-queue scheduler vs a reference heapq model.
+
+The kernel's two-tier scheduler (ready deque + calendar-queue wheel)
+promises exactly the ordering a classic ``(time, sequence)`` binary heap
+would produce.  These tests hold it to that promise:
+
+* a hypothesis property drives both the kernel and a plain-``heapq``
+  replay of its scheduling discipline over random sleep plans whose
+  delays span six orders of magnitude — so timers cross bucket
+  boundaries, land in the overflow list, and force re-epochs with fresh
+  bucket widths mid-run — and requires identical wake logs;
+* deterministic regressions pin the zero-delay FIFO fast path and the
+  bare-float sleep lane's error handling.
+"""
+
+import heapq
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.simnet.kernel import Environment, SimulationError
+
+# Delay magnitudes from sub-bucket to far-overflow values: small deltas
+# exercise the current bucket, mid-range ones the bucket array, and the
+# huge ones always land in overflow and stretch the next re-epoch's
+# bucket width.  The small-integer arm makes *equal* wake times across
+# different processes common — quantized think times do exactly this —
+# so the same-instant batch dispatch's FIFO ordering is exercised hard.
+_delay = st.one_of(
+    st.just(0.0),
+    st.integers(min_value=1, max_value=8).map(float),
+    st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    st.floats(min_value=10.0, max_value=1e4, allow_nan=False),
+    st.floats(min_value=1e4, max_value=1e8, allow_nan=False),
+)
+_plans = st.lists(
+    st.lists(_delay, min_size=0, max_size=12), min_size=1, max_size=24
+)
+
+
+def _reference_wakes(plans):
+    """Replay the seed kernel's scheduling discipline on a plain heapq.
+
+    Process bootstrap is a FIFO deque; every sleep — zero-delay
+    included — is a ``(time, sequence, process)`` heap entry with the
+    sequence assigned at push time.  This is exactly the ordering the
+    pre-wheel kernel produced, so equality here is the byte-identity
+    argument for the calendar queue: zero-delay continuations land
+    *behind* timers already due at the same instant, because those
+    timers carry earlier sequence numbers.
+    """
+    ready = deque(range(len(plans)))
+    positions = [0] * len(plans)
+    heap = []
+    sequence = 0
+    now = 0.0
+    log = []
+    while ready or heap:
+        if ready:
+            pid = ready.popleft()
+        else:
+            now, _, pid = heapq.heappop(heap)
+        log.append((now, pid))
+        position = positions[pid]
+        if position >= len(plans[pid]):
+            continue
+        positions[pid] += 1
+        delay = plans[pid][position]
+        sequence += 1
+        heapq.heappush(heap, (now + delay, sequence, pid))
+    return log
+
+
+def _kernel_wakes(plans, use_timeout):
+    env = Environment()
+    log = []
+
+    def proc(env, pid, delays):
+        log.append((env.now, pid))
+        for delay in delays:
+            if use_timeout:
+                yield env.timeout(delay)
+            else:
+                yield env.sleep(delay)
+            log.append((env.now, pid))
+
+    for pid, delays in enumerate(plans):
+        env.process(proc(env, pid, delays))
+    env.run()
+    return log
+
+
+@given(plans=_plans)
+@settings(max_examples=120, deadline=None)
+def test_sleep_lane_matches_heapq_reference(plans):
+    assert _kernel_wakes(plans, use_timeout=False) == _reference_wakes(plans)
+
+
+@given(plans=_plans)
+@settings(max_examples=120, deadline=None)
+def test_timeout_events_match_heapq_reference(plans):
+    assert _kernel_wakes(plans, use_timeout=True) == _reference_wakes(plans)
+
+
+def test_wheel_survives_epoch_crossing_burst():
+    """A dense cluster plus far-future stragglers: several re-epochs.
+
+    The cluster picks a narrow bucket width at the first rebuild; the
+    stragglers all land in overflow and must come back, in order,
+    through later rebuilds with much wider buckets.
+    """
+    env = Environment()
+    fired = []
+
+    def one(env, delay):
+        yield env.sleep(delay)
+        fired.append((env.now, delay))
+
+    delays = [1.0 + 0.001 * i for i in range(500)]
+    delays += [10_000.0 * (i + 1) for i in range(50)]
+    for delay in delays:
+        env.process(one(env, delay))
+    env.run()
+    assert [d for _, d in fired] == sorted(delays)
+    assert env.now == max(delays)
+
+
+def test_zero_delay_timeouts_dispatch_fifo():
+    """Satellite regression: zero-delay Timeouts keep strict FIFO order."""
+    env = Environment()
+    order = []
+
+    def proc(env, pid):
+        yield env.timeout(0)
+        order.append(pid)
+
+    for pid in range(16):
+        env.process(proc(env, pid))
+    env.run()
+    assert order == list(range(16))
+
+
+def test_same_instant_wakes_then_zero_sleeps_keep_fifo():
+    """Same-timestamp batch dispatch preserves schedule order, and the
+    zero-delay continuations run after the batch, still in order."""
+    env = Environment()
+    order = []
+
+    def proc(env, pid):
+        yield env.sleep(5.0)
+        order.append(("wake", pid))
+        yield env.sleep(0.0)
+        order.append(("zero", pid))
+
+    for pid in range(8):
+        env.process(proc(env, pid))
+    env.run()
+    expected = [("wake", pid) for pid in range(8)]
+    expected += [("zero", pid) for pid in range(8)]
+    assert order == expected
+
+
+def test_sleep_rejects_negative_delay_eagerly():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.sleep(-1.0)
+
+
+def test_bare_negative_float_yield_fails_the_process():
+    env = Environment()
+
+    def proc(env):
+        yield -1.0
+
+    process = env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+    del process
+
+
+def test_interrupt_while_sleeping_is_an_error():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.sleep(100.0)
+
+    def meddler(env, target):
+        yield env.timeout(1.0)
+        target.interrupt("nope")
+
+    target = env.process(sleeper(env))
+    env.process(meddler(env, target))
+    with pytest.raises(SimulationError):
+        env.run()
