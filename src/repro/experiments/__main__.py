@@ -21,6 +21,21 @@ with one span tree per client page request; ``--metrics-out`` writes
 per-cell metrics-registry snapshots.  Both artifacts are byte-identical
 for any ``--jobs`` value too.
 
+Streaming telemetry rides on the same sweep::
+
+    python -m repro.experiments table7 --workload open --scenario flash-crowd \
+        --series-out series.json --obs-interval 1 \
+        --slo policies/slo-default.json --slo-out slo.json \
+        --flame-out flame.txt --flame-html flame.html --obs-sample 0.1
+
+``--series-out`` writes per-window counters/gauges/quantiles sampled on
+the simulated clock (``--obs-interval`` seconds per window);  ``--slo``
+evaluates declarative objectives per window, with burn rates and
+fault-window recovery times printed after the tables; ``--flame-out``
+folds the span trees into collapsed-stack flamegraph text (speedscope /
+flamegraph.pl), with a per-layer latency attribution table on stdout.
+All of these are byte-identical for any ``--jobs`` value.
+
 Beyond the paper's grid::
 
     python -m repro.experiments table7 --workload open --arrival pareto \
@@ -109,6 +124,39 @@ def _export_observability(args, series_cache, apps_needed, levels) -> None:
         ]
         export_metrics(cells, args.metrics_out)
         print(f"[metrics] wrote {args.metrics_out}", file=sys.stderr)
+    if args.series_out is not None:
+        from ..obs.export import export_series
+
+        cells = [
+            (label, result.series_state)
+            for label, result in labelled
+            if result.series_state is not None
+        ]
+        export_series(cells, args.series_out)
+        print(f"[series] wrote {args.series_out}", file=sys.stderr)
+    if args.flame_out is not None or args.flame_html is not None:
+        from ..obs.flame import (
+            collapse_spans,
+            merge_folded,
+            render_flame_html,
+            render_folded,
+        )
+
+        folded = merge_folded(
+            *(
+                collapse_spans(result.spans_state["spans"], root_prefix=label)
+                for label, result in labelled
+                if result.spans_state is not None
+            )
+        )
+        if args.flame_out is not None:
+            with open(args.flame_out, "w") as handle:
+                handle.write(render_folded(folded))
+            print(f"[flame] wrote {args.flame_out}", file=sys.stderr)
+        if args.flame_html is not None:
+            with open(args.flame_html, "w") as handle:
+                handle.write(render_flame_html(folded))
+            print(f"[flame] wrote {args.flame_html}", file=sys.stderr)
 
 
 def _run_plan(args, policy, topology) -> int:
@@ -245,6 +293,55 @@ def main(argv=None) -> int:
         metavar="FILE",
         default=None,
         help="write per-cell metrics-registry snapshots as sorted-key JSON",
+    )
+    parser.add_argument(
+        "--series-out",
+        metavar="FILE",
+        default=None,
+        help="write per-window telemetry series (counters, gauges, "
+        "p50/p95/p99 per page class) as sorted-key JSON",
+    )
+    parser.add_argument(
+        "--obs-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="telemetry window width in simulated seconds "
+        "(default %(default)s; used by --series-out/--slo)",
+    )
+    parser.add_argument(
+        "--obs-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of sessions whose spans are recorded, decided by a "
+        "deterministic hash of the session id (default %(default)s: all)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="FILE",
+        default=None,
+        help="evaluate declarative SLO objectives (JSON, see repro.obs.slo) "
+        "per telemetry window; prints burn rates and fault recovery times",
+    )
+    parser.add_argument(
+        "--slo-out",
+        metavar="FILE",
+        default=None,
+        help="with --slo: also write the evaluation report as sorted-key JSON",
+    )
+    parser.add_argument(
+        "--flame-out",
+        metavar="FILE",
+        default=None,
+        help="write latency attribution as collapsed-stack flamegraph text "
+        "(load in speedscope or flamegraph.pl)",
+    )
+    parser.add_argument(
+        "--flame-html",
+        metavar="FILE",
+        default=None,
+        help="write a self-contained HTML flamegraph (no external tools)",
     )
     parser.add_argument(
         "--faults",
@@ -396,23 +493,56 @@ def main(argv=None) -> int:
 
         warn_forced_serial(jobs, sys.stderr)
         jobs = 1
-    with_spans = args.trace_out is not None
+    with_flame = args.flame_out is not None or args.flame_html is not None
+    with_spans = args.trace_out is not None or with_flame
     # Span recording implies flat-trace recording too, so the stderr
     # digest can report call counts alongside the exported span trees.
     with_trace = with_spans
     with_metrics = args.metrics_out is not None
+    with_series = (
+        args.series_out is not None
+        or args.slo is not None
+        or args.slo_out is not None
+    )
 
     if args.availability_out is not None and args.faults is None:
         print("[faults] --availability-out requires --faults", file=sys.stderr)
         return 2
+    if args.slo_out is not None and args.slo is None:
+        print("[slo] --slo-out requires --slo", file=sys.stderr)
+        return 2
+    if args.obs_interval <= 0:
+        print("[obs] --obs-interval must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 < args.obs_sample <= 1.0:
+        print("[obs] --obs-sample must be in (0, 1]", file=sys.stderr)
+        return 2
+    obs_interval_ms = args.obs_interval * 1000.0 if with_series else None
+
+    objectives = None
+    if args.slo is not None:
+        from ..obs.slo import SloError, load_slo
+
+        try:
+            objectives = load_slo(args.slo)
+        except (OSError, ValueError) as exc:
+            # SloError subclasses ValueError; bad JSON raises ValueError too.
+            kind = "slo" if isinstance(exc, SloError) else "slo file"
+            print(f"[{kind}] {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[slo] {len(objectives)} objective(s) from {args.slo}",
+            file=sys.stderr,
+        )
 
     if args.target == ABLATION_TARGET:
         if args.profile:
             print("[profile] --profile is not supported for ablations", file=sys.stderr)
             return 2
-        if with_spans or with_metrics:
+        if with_spans or with_metrics or with_series:
             print(
-                "[obs] --trace-out/--metrics-out are not supported for ablations",
+                "[obs] --trace-out/--metrics-out/--series-out/--slo/"
+                "--flame-out are not supported for ablations",
                 file=sys.stderr,
             )
             return 2
@@ -501,6 +631,8 @@ def main(argv=None) -> int:
                 policy=policy,
                 topology=topology,
                 openloop=openloop,
+                obs_interval_ms=obs_interval_ms,
+                obs_sample=args.obs_sample,
             )
             for app in apps_needed
         }
@@ -520,13 +652,15 @@ def main(argv=None) -> int:
             policy=policy,
             topology=topology,
             openloop=openloop,
+            obs_interval_ms=obs_interval_ms,
+            obs_sample=args.obs_sample,
         )
         series_cache = {
             app: {level: results[(app, level)] for level in levels}
             for app in apps_needed
         }
 
-    if with_spans or with_metrics:
+    if with_spans or with_metrics or with_series:
         _export_observability(args, series_cache, apps_needed, levels)
 
     for target in targets:
@@ -539,6 +673,50 @@ def main(argv=None) -> int:
         else:
             figure = build_figure(series)
             print(figure_to_csv(figure) if args.csv else render_figure(figure))
+
+    labelled = [
+        (f"{app}/L{int(level)}", series_cache[app][level])
+        for app in apps_needed
+        for level in levels
+    ]
+    if with_flame:
+        from ..obs.flame import layer_self_times, render_attribution
+
+        for label, result in labelled:
+            spans_state = result.spans_state
+            if spans_state is None:
+                continue
+            # Think time accumulates in the telemetry series when it is
+            # on; without it the attribution covers server-side work only.
+            think = 0.0
+            series_state = result.series_state
+            if series_state is not None:
+                think = sum(
+                    entry.get("counters", {}).get("think_ms", 0)
+                    for entry in series_state["windows"].values()
+                )
+            print()
+            print(
+                render_attribution(
+                    label, layer_self_times(spans_state["spans"]), think_ms=think
+                )
+            )
+
+    if objectives is not None:
+        from ..obs.slo import evaluate_slo, export_slo, render_slo_report
+
+        slo_reports = {}
+        for label, result in labelled:
+            state = result.series_state
+            if state is None:
+                continue
+            report = evaluate_slo(state, objectives)
+            slo_reports[label] = report
+            print()
+            print(render_slo_report(label, report))
+        if args.slo_out is not None:
+            export_slo(slo_reports, args.slo_out)
+            print(f"[slo] wrote {args.slo_out}", file=sys.stderr)
 
     if faults is not None:
         availability_tables = [

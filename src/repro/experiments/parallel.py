@@ -77,6 +77,11 @@ class CellTask:
     # Open-loop workload (frozen, picklable); None runs the closed-loop
     # client population described by ``workload``.
     openloop: Optional[OpenLoopConfig] = None
+    # Windowed-telemetry interval in simulated ms; None leaves the
+    # sampler uninstalled (no extra kernel events at all).
+    obs_interval: Optional[float] = None
+    # Deterministic span-sampling rate (see SpanRecorder.sample).
+    obs_sample: float = 1.0
 
 
 @dataclass
@@ -102,6 +107,7 @@ class CellResult:
     # counters that previously died with the worker process.
     spans_state: Optional[dict] = None
     metrics_state: Optional[dict] = None
+    series_state: Optional[dict] = None
     cache_stats: Optional[dict] = None
     # Canonical resilience snapshot (see repro.faults.report).
     resilience: Optional[dict] = None
@@ -124,6 +130,7 @@ class CellResult:
             trace_summary=result.trace_summary,
             spans_state=result.spans_state,
             metrics_state=result.metrics_state,
+            series_state=result.series_state,
             cache_stats=result.cache_stats,
             resilience=result.resilience,
             label=result.label,
@@ -163,6 +170,8 @@ def _run_cell(task: CellTask) -> CellResult:
         policy=task.policy,
         topology=task.topology,
         openloop=task.openloop,
+        obs_interval_ms=task.obs_interval,
+        obs_sample=task.obs_sample,
     )
     return CellResult.from_experiment(result)
 
@@ -180,6 +189,8 @@ def run_cells(
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
     openloop: Optional[OpenLoopConfig] = None,
+    obs_interval_ms: Optional[float] = None,
+    obs_sample: float = 1.0,
 ) -> Dict[Tuple[str, PatternLevel], CellResult]:
     """Run every (app, level) cell, fanning out across ``jobs`` processes.
 
@@ -205,6 +216,8 @@ def run_cells(
             policy=policy,
             topology=topology,
             openloop=openloop,
+            obs_interval=obs_interval_ms,
+            obs_sample=obs_sample,
         )
         for key in keys
     }
@@ -243,6 +256,8 @@ def run_series_parallel(
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
     openloop: Optional[OpenLoopConfig] = None,
+    obs_interval_ms: Optional[float] = None,
+    obs_sample: float = 1.0,
 ) -> Dict[PatternLevel, CellResult]:
     """Parallel counterpart of :func:`~repro.experiments.runner.run_series`.
 
@@ -265,5 +280,7 @@ def run_series_parallel(
         policy=policy,
         topology=topology,
         openloop=openloop,
+        obs_interval_ms=obs_interval_ms,
+        obs_sample=obs_sample,
     )
     return {level: results[(app, level)] for level in levels}

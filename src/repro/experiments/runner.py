@@ -23,6 +23,7 @@ from ..faults.report import collect_resilience
 from ..faults.schedule import FaultSchedule
 from ..obs.metrics import MetricsRegistry, collect_cache_stats, collect_system_metrics
 from ..obs.spans import SpanRecorder
+from ..obs.timeseries import TimeSeriesRecorder
 from ..simnet.kernel import Environment
 from ..simnet.monitor import ResponseTimeMonitor, Trace
 from ..simnet.topology import TestbedConfig, TopologyOverrides, build_testbed
@@ -109,9 +110,15 @@ class ExperimentResult:
     # expose the reporting surface the tables and artifacts consume.
     generator: object
     wall_seconds: float
+    # CPU seconds over the same region as ``wall_seconds``; benchmarks
+    # gate on this because it is immune to scheduler-preemption noise on
+    # busy hosts (a big effect on 1-CPU CI runners).
+    cpu_seconds: float = 0.0
     trace: Optional[Trace] = None
     spans: Optional[SpanRecorder] = None
     metrics: Optional[MetricsRegistry] = None
+    # Windowed telemetry (None unless an obs interval was requested).
+    series: Optional[TimeSeriesRecorder] = None
     # Query-cache and replica counters, collected before the system is
     # dropped — previously this evidence died with the run.
     cache_stats: Optional[dict] = None
@@ -146,12 +153,17 @@ class ExperimentResult:
         return self.metrics.to_state() if self.metrics is not None else None
 
     @property
+    def series_state(self) -> Optional[dict]:
+        """Picklable time-series snapshot (None when telemetry was off)."""
+        return self.series.to_state() if self.series is not None else None
+
+    @property
     def trace_summary(self):
         """Trace digest with resilience counters folded in (None without trace)."""
         if self.trace is None:
             return None
         snapshot = self.resilience or {}
-        return replace(
+        summary = replace(
             self.trace.summary(),
             retries=snapshot.get("rmi_retries", 0),
             timeouts=snapshot.get("rmi_timeouts", 0),
@@ -159,6 +171,14 @@ class ExperimentResult:
             dropped_updates=snapshot.get("dropped_updates", 0),
             dropped_sessions=snapshot.get("dropped_sessions", 0),
         )
+        if self.spans is not None and self.spans.sample_rate < 1.0:
+            summary = replace(
+                summary,
+                span_sample_rate=self.spans.sample_rate,
+                spans_sampled=self.spans.sampled_requests,
+                spans_skipped=self.spans.skipped_requests,
+            )
+        return summary
 
 
 def topology_dict(config: TestbedConfig) -> dict:
@@ -186,6 +206,8 @@ def run_configuration(
     topology: Optional[TopologyOverrides] = None,
     openloop: Optional[OpenLoopConfig] = None,
     browser_pattern=None,
+    obs_interval_ms: Optional[float] = None,
+    obs_sample: float = 1.0,
 ) -> ExperimentResult:
     """Run one (application, configuration) cell of the evaluation.
 
@@ -202,6 +224,13 @@ def run_configuration(
     ``browser_pattern`` optionally replaces the app's stock browse mix:
     a callable taking the populated catalog and returning a usage
     pattern, exactly like :attr:`AppSpec.browser_pattern`.
+
+    ``obs_interval_ms`` turns on windowed telemetry: a kernel sampler
+    process snapshots counters/gauges every interval and the generator
+    streams response times into per-window histograms (see
+    :mod:`repro.obs.timeseries`).  ``obs_sample`` keeps only that
+    deterministic fraction of sessions in the span table (hash of the
+    session id, not RNG) so tracing stays bounded at 10^6 sessions.
     """
     from ..middleware.context import reset_ids
     from ..simnet.rng import Streams
@@ -222,7 +251,11 @@ def run_configuration(
         config = topology.apply(config)
     testbed = build_testbed(env, config)
     trace = Trace(max_records=2_000_000) if with_trace else None
-    spans = SpanRecorder(max_spans=2_000_000) if with_spans else None
+    spans = (
+        SpanRecorder(max_spans=2_000_000, sample_rate=obs_sample)
+        if with_spans
+        else None
+    )
     metrics = MetricsRegistry() if with_metrics else None
     application = spec.build_application(level, catalog=catalog)
     system = distribute(
@@ -270,8 +303,18 @@ def run_configuration(
             config=workload,
             writer_group_name=spec.writer_group,
         )
+    series = None
+    if obs_interval_ms is not None:
+        series = TimeSeriesRecorder(interval_ms=obs_interval_ms)
+        generator.timeseries = series
+        # Install after warm-up/fault setup so the sampler's baseline
+        # snapshot excludes construction-time counter churn, and before
+        # run() so window boundaries start at t=0.
+        series.install(env, system, generator, faults=faults)
     started = time.perf_counter()
+    cpu_started = time.process_time()
     monitor = generator.run(env)
+    cpu = time.process_time() - cpu_started
     wall = time.perf_counter() - started
     # Close staleness windows before the metrics snapshot reads them.
     resilience = collect_resilience(system, generator=generator)
@@ -284,9 +327,11 @@ def run_configuration(
         system=system,
         generator=generator,
         wall_seconds=wall,
+        cpu_seconds=cpu,
         trace=trace,
         spans=spans,
         metrics=metrics,
+        series=series,
         cache_stats=collect_cache_stats(system),
         resilience=resilience,
         fault_injector=injector,
@@ -310,6 +355,8 @@ def run_series(
     policy: Optional[PlacementPolicy] = None,
     topology: Optional[TopologyOverrides] = None,
     openloop: Optional[OpenLoopConfig] = None,
+    obs_interval_ms: Optional[float] = None,
+    obs_sample: float = 1.0,
 ) -> Dict[PatternLevel, "ExperimentResult"]:
     """All five configurations of one application (Tables 6/7).
 
@@ -358,6 +405,8 @@ def run_series(
                 policy=policy,
                 topology=topology,
                 openloop=openloop,
+                obs_interval_ms=obs_interval_ms,
+                obs_sample=obs_sample,
             )
     results: Dict[PatternLevel, ExperimentResult] = {}
     for level in levels:
@@ -377,6 +426,8 @@ def run_series(
                 policy=policy,
                 topology=topology,
                 openloop=openloop,
+                obs_interval_ms=obs_interval_ms,
+                obs_sample=obs_sample,
             )
             dump_cell_profile(f"{app} L{int(level)}", stats, sys.stderr)
         else:
@@ -392,6 +443,8 @@ def run_series(
                 policy=policy,
                 topology=topology,
                 openloop=openloop,
+                obs_interval_ms=obs_interval_ms,
+                obs_sample=obs_sample,
             )
         results[level] = result
         if progress is not None:

@@ -130,6 +130,38 @@ class FaultSchedule:
             fault.validate()
         return self
 
+    def windows(self) -> Tuple[dict, ...]:
+        """Labelled fault windows for telemetry overlays.
+
+        A flat, canonically ordered projection — ``{"kind", "label",
+        "start", "end"}`` sorted by (start, end, kind, label) — that the
+        time-series layer stamps onto its artifacts so SLO evaluation
+        can flag in-fault windows and report recovery time per fault.
+        """
+        rows = []
+        for p in self.partitions:
+            rows.append(
+                {"kind": "partition", "label": f"{p.a}<->{p.b}",
+                 "start": p.start, "end": p.end}
+            )
+        for s in self.latency_spikes:
+            rows.append(
+                {"kind": "latency", "label": f"{s.a}<->{s.b}",
+                 "start": s.start, "end": s.end}
+            )
+        for w in self.loss_windows:
+            rows.append(
+                {"kind": "loss", "label": f"{w.a}<->{w.b}",
+                 "start": w.start, "end": w.end}
+            )
+        for c in self.crashes:
+            rows.append(
+                {"kind": "crash", "label": c.server,
+                 "start": c.start, "end": c.end}
+            )
+        rows.sort(key=lambda r: (r["start"], r["end"], r["kind"], r["label"]))
+        return tuple(rows)
+
     # -- JSON round trip ----------------------------------------------------
     def to_json(self) -> dict:
         """Plain-dict form (sorted-key friendly) for scenario files."""

@@ -178,13 +178,22 @@ def http_get(
         session_id=request.session_id,
         client_node=request.client_node,
     )
+    # Per-session span sampling: the decision is a pure hash of the
+    # session id (see SpanRecorder.sample), so either *every* request of
+    # a session is traced or none is — partial trees would break the
+    # design-rule tree walk — and the same sessions are kept in any
+    # process.  An unsampled request carries no span recorder at all,
+    # which keeps its per-call cost identical to spans-disabled runs.
+    spans = server.spans
+    if spans is not None and not spans.sample(request.session_id):
+        spans = None
     ctx = InvocationContext(
         env=env,
         server=server,
         request=info,
         costs=costs,
         trace=server.trace,
-        spans=server.spans,
+        spans=spans,
     )
     # Root span of the request's causal tree: everything the page does —
     # servlet work, RMI, JDBC, JMS — nests under it via ctx.span_id.

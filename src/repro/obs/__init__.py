@@ -14,13 +14,23 @@ needs first-class causal instrumentation, not just a flat call log:
 * :mod:`repro.obs.export` — Chrome trace-event JSON (``--trace-out``,
   loadable in Perfetto / ``chrome://tracing``) and sorted-key metrics
   JSON (``--metrics-out``).
+* :mod:`repro.obs.timeseries` — streaming per-window telemetry (a
+  kernel sampler process + windowed HDR-style quantiles) behind
+  ``--series-out``; merged by simulated-time key across parallel cells.
+* :mod:`repro.obs.slo` — declarative objectives evaluated per window
+  with burn rates and fault-overlay recovery times (``--slo``).
+* :mod:`repro.obs.flame` — span trees folded into collapsed-stack
+  flamegraphs and per-layer latency attribution (``--flame-out``).
 * :mod:`repro.obs.validate` — ``python -m repro.obs.validate`` checks
   exported artifacts parse and contain at least one complete span tree
   (used by CI on the uploaded artifacts).
 """
 
+from .flame import collapse_spans, layer_self_times, merge_folded, render_folded
 from .metrics import MetricsRegistry, collect_cache_stats, collect_system_metrics, merge_cache_stats
+from .slo import evaluate_slo, load_slo, parse_objectives, render_slo_report
 from .spans import Span, SpanRecorder, SpanTree, client_path_wan_calls
+from .timeseries import HDR_BOUNDS, TimeSeriesRecorder
 
 __all__ = [
     "Span",
@@ -31,4 +41,14 @@ __all__ = [
     "collect_system_metrics",
     "collect_cache_stats",
     "merge_cache_stats",
+    "HDR_BOUNDS",
+    "TimeSeriesRecorder",
+    "evaluate_slo",
+    "load_slo",
+    "parse_objectives",
+    "render_slo_report",
+    "collapse_spans",
+    "layer_self_times",
+    "merge_folded",
+    "render_folded",
 ]

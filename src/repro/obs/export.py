@@ -23,8 +23,10 @@ __all__ = [
     "chrome_trace_events",
     "export_chrome_trace",
     "export_metrics",
+    "export_series",
     "validate_chrome_trace",
     "validate_metrics",
+    "validate_series",
 ]
 
 # Simulation timestamps are milliseconds; trace-event ts/dur are
@@ -117,6 +119,20 @@ def export_chrome_trace(cells: List[Tuple[str, dict]], path: str) -> dict:
 def export_metrics(cells: List[Tuple[str, dict]], path: str) -> dict:
     """Write per-cell metrics snapshots as sorted-key JSON."""
     data = {"cells": {label: state for label, state in cells}}
+    with open(path, "w") as handle:
+        json.dump(data, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return data
+
+
+def export_series(cells: List[Tuple[str, dict]], path: str) -> dict:
+    """Write per-cell time-series states as sorted-key JSON.
+
+    ``cells`` is ``[(label, TimeSeriesRecorder.to_state()), ...]``; the
+    window keys inside each state are already canonical (merged by
+    simulated-time key), so the file is byte-identical for any --jobs N.
+    """
+    data = {"series": {label: state for label, state in cells}}
     with open(path, "w") as handle:
         json.dump(data, handle, sort_keys=True, separators=(",", ":"))
         handle.write("\n")
@@ -222,6 +238,58 @@ def validate_metrics(data: object) -> List[str]:
                 hist.get("counts", ())
             ):
                 problems.append(f"cell {label!r} histogram {name!r} inconsistent")
+    return problems
+
+
+def validate_series(data: object) -> List[str]:
+    """Schema problems of an exported time-series dump; empty means valid."""
+    problems: List[str] = []
+    if not isinstance(data, dict) or "series" not in data:
+        return ["top level is not an object with a 'series' key"]
+    cells = data["series"]
+    if not isinstance(cells, dict) or not cells:
+        return ["'series' is empty or not an object"]
+    for label, state in cells.items():
+        if not isinstance(state, dict):
+            problems.append(f"cell {label!r} is not an object")
+            continue
+        interval = state.get("interval_ms")
+        if not isinstance(interval, (int, float)) or interval <= 0:
+            problems.append(f"cell {label!r}: interval_ms must be positive")
+        bounds = state.get("bounds")
+        if not isinstance(bounds, list) or bounds != sorted(bounds):
+            problems.append(f"cell {label!r}: bounds missing or unsorted")
+            bounds = []
+        windows = state.get("windows")
+        if not isinstance(windows, dict):
+            problems.append(f"cell {label!r}: missing windows object")
+            continue
+        for key, entry in windows.items():
+            where = f"cell {label!r} window {key!r}"
+            try:
+                int(key)
+            except (TypeError, ValueError):
+                problems.append(f"{where}: key is not an integer")
+                continue
+            for section in ("counters", "gauges", "quantiles"):
+                names = list(entry.get(section, {}))
+                if names != sorted(names):
+                    problems.append(f"{where}: {section} keys not sorted")
+            for name, hist in entry.get("quantiles", {}).items():
+                counts = hist.get("counts", ())
+                if hist.get("count") != sum(counts):
+                    problems.append(f"{where}: quantile {name!r} count mismatch")
+                if bounds and len(counts) != len(bounds) + 1:
+                    problems.append(
+                        f"{where}: quantile {name!r} has {len(counts)} buckets "
+                        f"for {len(bounds)} bounds"
+                    )
+        for fault in state.get("fault_windows", ()):
+            if fault.get("end", 0) <= fault.get("start", 0):
+                problems.append(
+                    f"cell {label!r}: fault window {fault.get('label')!r} "
+                    "ends before it starts"
+                )
     return problems
 
 

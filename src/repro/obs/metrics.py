@@ -22,6 +22,7 @@ Two acquisition styles coexist:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
@@ -83,18 +84,68 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: Number) -> None:
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
-        self.counts[index] += 1
+        # bisect_left returns the first i with bounds[i] >= value, which
+        # is exactly the "value <= bound" bucket the linear scan found;
+        # with the wide HDR-style grids the windowed quantiles use, the
+        # O(log n) lookup keeps the per-request cost flat.
+        self.counts[bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated quantile; ``q`` in [0, 1].
+
+        Linearly interpolates inside the bucket holding the q-th
+        observation (bucket ``i`` spans ``(bounds[i-1], bounds[i]]``;
+        the first starts at 0.0).  The open-ended overflow bucket has no
+        upper edge, so quantiles landing there clamp to the last finite
+        bound — callers wanting tail fidelity pick bounds wide enough
+        that the overflow stays empty.
+        """
+        if not self.count:
+            return 0.0
+        rank = min(max(q, 0.0), 1.0) * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for i, count in enumerate(self.counts):
+            upper = self.bounds[i] if i < len(self.bounds) else lower
+            if count and cumulative + count >= rank:
+                if i >= len(self.bounds):
+                    return lower
+                fraction = (rank - cumulative) / count
+                return lower + (upper - lower) * fraction
+            cumulative += count
+            lower = upper
+        return lower
+
+    def cdf(self, value: float) -> float:
+        """Interpolated fraction of observations at or below ``value``.
+
+        Overflow-bucket mass (beyond the last finite bound) counts as
+        *above* any finite value — the conservative reading for SLO
+        bad-fraction math.  An empty histogram reports 1.0 (vacuously
+        compliant).
+        """
+        if not self.count:
+            return 1.0
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            count = self.counts[i]
+            if value < bound:
+                if count:
+                    width = bound - lower
+                    part = (value - lower) / width if width > 0.0 else 1.0
+                    if part > 0.0:
+                        cumulative += count * min(1.0, part)
+                return cumulative / self.count
+            cumulative += count
+            lower = bound
+        return cumulative / self.count
 
 
 class MetricsRegistry:
@@ -335,6 +386,9 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
             registry.counter("workload.failovers").inc(
                 sum(client.failovers for client in clients)
             )
+            registry.counter("workload.think_time_ms").inc(
+                sum(client.think_ms for client in clients)
+            )
         else:
             # Open-loop generator: per-run session health.  These names
             # exist only for open-loop runs, so closed-loop metrics
@@ -347,6 +401,7 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
             registry.counter("workload.sessions_dropped").inc(
                 generator.dropped_sessions
             )
+            registry.counter("workload.think_time_ms").inc(generator.think_ms)
             registry.gauge("workload.sessions_active").set(float(generator.active))
             registry.gauge("workload.sessions_peak").set(float(generator.peak_active))
 

@@ -16,6 +16,7 @@ the property the parallel experiment runner's byte-identical
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -33,6 +34,10 @@ __all__ = [
 # client waits on a WAN round trip for (asynchronous deliveries never
 # block it at all).
 MAINTENANCE_KINDS = frozenset({"propagate", "jms", "jms-delivery"})
+
+#: Cap on the memoized per-session sampling verdicts (pure hashes —
+#: evicting them wholesale is free and changes nothing).
+_DECISION_CACHE_LIMIT = 65_536
 
 
 @dataclass
@@ -109,15 +114,59 @@ class SpanRecorder:
     counter so truncation is never silent.
     """
 
-    def __init__(self, enabled: bool = True, max_spans: Optional[int] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_spans: Optional[int] = None,
+        sample_rate: float = 1.0,
+    ):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate!r}")
         self.enabled = enabled
         self.max_spans = max_spans
+        self.sample_rate = sample_rate
+        self.sampled_requests = 0
+        self.skipped_requests = 0
         self.spans: List[Span] = []
         self.dropped = 0
         self._ids = itertools.count(1)
+        self._decisions: Dict[str, bool] = {}
 
     def __len__(self) -> int:
         return len(self.spans)
+
+    def sample(self, session_id: str) -> bool:
+        """Deterministic per-session sampling decision.
+
+        CRC32 of the session id mapped onto [0, 1) — NOT ``hash()``
+        (randomized per interpreter) and NOT an RNG stream (a draw here
+        would shift every workload stream and change the run), so the
+        same sessions are traced in every process and under any
+        ``--jobs N``, and a sampled run's workload is byte-identical to
+        an unsampled one.  Rate 1.0 short-circuits before hashing, and
+        the per-session verdict is memoized — a session issues many
+        requests, and the hash only needs computing on its first.
+        """
+        if self.sample_rate >= 1.0:
+            self.sampled_requests += 1
+            return True
+        keep = self._decisions.get(session_id)
+        if keep is None:
+            keep = (
+                zlib.crc32(session_id.encode("utf-8")) / 4294967296.0
+                < self.sample_rate
+            )
+            if len(self._decisions) >= _DECISION_CACHE_LIMIT:
+                # The verdict is a pure hash of the id, so the cache can
+                # be dropped wholesale without changing any decision —
+                # keeps memory bounded on million-session runs.
+                self._decisions.clear()
+            self._decisions[session_id] = keep
+        if keep:
+            self.sampled_requests += 1
+        else:
+            self.skipped_requests += 1
+        return keep
 
     def start_span(
         self,
@@ -189,15 +238,26 @@ class SpanRecorder:
 
     # -- serialization -------------------------------------------------------
     def to_state(self) -> dict:
-        """Picklable, JSON-safe snapshot in span-id order."""
-        return {
+        """Picklable, JSON-safe snapshot in span-id order.
+
+        Sampling fields appear only when a rate below 1.0 is in force,
+        so unsampled exports stay byte-identical with earlier releases.
+        """
+        state = {
             "dropped": self.dropped,
             "spans": [span.to_dict() for span in self.spans],
         }
+        if self.sample_rate < 1.0:
+            state["sample_rate"] = self.sample_rate
+            state["sampled_requests"] = self.sampled_requests
+            state["skipped_requests"] = self.skipped_requests
+        return state
 
     @classmethod
     def from_state(cls, state: dict) -> "SpanRecorder":
-        recorder = cls()
+        recorder = cls(sample_rate=state.get("sample_rate", 1.0))
+        recorder.sampled_requests = state.get("sampled_requests", 0)
+        recorder.skipped_requests = state.get("skipped_requests", 0)
         recorder.dropped = state.get("dropped", 0)
         recorder.spans = [Span.from_dict(item) for item in state.get("spans", ())]
         if recorder.spans:

@@ -2,12 +2,14 @@
 
 Usage::
 
-    python -m repro.obs.validate trace.json metrics.json
+    python -m repro.obs.validate trace.json metrics.json series.json flame.txt
 
 Each file is sniffed by shape — a ``traceEvents`` array is validated as
-a Chrome trace, a ``cells`` object as a metrics dump — and the process
-exits non-zero if any file fails, which is how CI gates the artifacts it
-uploads from the benchmark smoke job.
+a Chrome trace, a ``cells`` object as a metrics dump, a ``series``
+object as a time-series dump, an ``slo`` object as an SLO report, and a
+file that is not JSON at all as collapsed-stack flamegraph text — and
+the process exits non-zero if any file fails, which is how CI gates the
+artifacts it uploads from the benchmark smoke job.
 """
 
 from __future__ import annotations
@@ -17,7 +19,9 @@ import json
 import sys
 from typing import List
 
-from .export import validate_chrome_trace, validate_metrics
+from .export import validate_chrome_trace, validate_metrics, validate_series
+from .flame import validate_flamegraph
+from .slo import validate_slo
 
 __all__ = ["validate_file", "main"]
 
@@ -27,13 +31,28 @@ def validate_file(path: str) -> List[str]:
     try:
         with open(path) as handle:
             data = json.load(handle)
-    except (OSError, json.JSONDecodeError) as error:
+    except OSError as error:
         return [f"cannot load {path}: {error}"]
+    except json.JSONDecodeError:
+        # Not JSON: collapsed-stack flamegraph text is the only non-JSON
+        # artifact this tool knows.
+        try:
+            with open(path) as handle:
+                return validate_flamegraph(handle.read())
+        except OSError as error:
+            return [f"cannot load {path}: {error}"]
     if isinstance(data, dict) and "traceEvents" in data:
         return validate_chrome_trace(data)
     if isinstance(data, dict) and "cells" in data:
         return validate_metrics(data)
-    return [f"{path}: unrecognized artifact shape (no traceEvents or cells key)"]
+    if isinstance(data, dict) and "series" in data:
+        return validate_series(data)
+    if isinstance(data, dict) and "slo" in data:
+        return validate_slo(data)
+    return [
+        f"{path}: unrecognized artifact shape "
+        "(no traceEvents/cells/series/slo key)"
+    ]
 
 
 def main(argv=None) -> int:

@@ -963,6 +963,50 @@ class Environment:
         entry = self._wheel_min()
         return entry[0] if entry is not None else None
 
+    # -- introspection ------------------------------------------------------
+    def pending(self) -> bool:
+        """True while any ready item or wheel entry is outstanding.
+
+        Unlike :meth:`peek` this never promotes buckets or re-epochs the
+        overflow, so it is safe to call from *inside* a running process:
+        the ``run`` loop's cached wheel locals stay valid.  (The
+        telemetry sampler uses it to decide whether it is the only thing
+        left alive — a mutating check there could swap ``_overflow`` /
+        ``_buckets`` out from under the loop and lose the next push.)
+        """
+        if self._ready or self._cur or self._overflow:
+            return True
+        for bucket in self._buckets[self._idx :]:
+            if bucket:
+                return True
+        return False
+
+    def stats(self) -> dict:
+        """Kernel self-statistics: cheap, read-only, canonical keys.
+
+        Safe mid-run for the same reason as :meth:`pending`.
+        ``sequence`` counts wheel entries ever scheduled — a proxy for
+        event volume that the time-series sampler differentiates into
+        events/interval; the remaining numbers describe ready-deque and
+        calendar-queue occupancy at the instant of the call.
+        """
+        future = 0
+        occupied = 0
+        for bucket in self._buckets[self._idx :]:
+            if bucket:
+                occupied += 1
+                future += len(bucket)
+        return {
+            "now": self._now,
+            "sequence": self._sequence,
+            "ready": len(self._ready),
+            "current_bucket": len(self._cur),
+            "future_entries": future,
+            "buckets_occupied": occupied,
+            "buckets_live": max(0, len(self._buckets) - self._idx),
+            "overflow": len(self._overflow),
+        }
+
     def _dispatch(self, event: Event) -> None:
         if event._sleeping:
             event._sleeping = False

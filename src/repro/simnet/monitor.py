@@ -127,6 +127,11 @@ class TraceSummary:
     # Open-loop arrivals turned away at the admission cap; always zero
     # for closed-loop runs, so their digests are unchanged.
     dropped_sessions: int = 0
+    # Span sampling (--obs-sample): rate 1.0 means every session traced,
+    # keeping pre-sampling digests unchanged.
+    span_sample_rate: float = 1.0
+    spans_sampled: int = 0
+    spans_skipped: int = 0
 
     def wide_area_calls(self, kind: Optional[str] = None) -> int:
         if kind is not None:
@@ -154,6 +159,12 @@ class TraceSummary:
         ):
             if count:
                 line += f", {count} {noun}"
+        if self.span_sample_rate < 1.0:
+            total = self.spans_sampled + self.spans_skipped
+            line += (
+                f", spans sampled {self.spans_sampled}/{total} sessions "
+                f"(rate {self.span_sample_rate:g})"
+            )
         return line
 
 

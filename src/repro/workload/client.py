@@ -60,6 +60,9 @@ class Client:
         self.sessions_completed = 0
         self.errors = 0
         self.failovers = 0
+        self.think_ms = 0.0
+        # Optional TimeSeriesRecorder, set by LoadGenerator.start().
+        self.timeseries = None
 
     def run(self, env: Environment) -> Generator[Event, None, None]:
         """The client process: sessions back-to-back until ``end_time``."""
@@ -134,9 +137,13 @@ class Client:
                     self.monitor.observe(
                         env.now, self.group, visit.page, response_time
                     )
+                    ts = self.timeseries
+                    if ts is not None:
+                        ts.observe_response(env.now, visit.page, response_time)
                 # Soft delay: the think time absorbs the response time.
                 remaining = self.think_time - response_time
                 if remaining > 0:
+                    self.think_ms += remaining
                     yield env.sleep(remaining)
                 if session_broken:
                     # The user gives up on this session and starts a new

@@ -63,6 +63,9 @@ class LoadGenerator:
         self.config = config or WorkloadConfig()
         self.writer_group_name = writer_group_name
         self.monitor = ResponseTimeMonitor(warmup=self.config.warmup_ms)
+        #: Optional TimeSeriesRecorder fanned out to every client at
+        #: start() time (the clients stream responses into it directly).
+        self.timeseries = None
         self.clients: List[Client] = []
 
     # -- population maths ---------------------------------------------------
@@ -116,6 +119,7 @@ class LoadGenerator:
     def start(self, env: Environment) -> None:
         """Register every client as a simulation process."""
         for client in self.build():
+            client.timeseries = self.timeseries
             env.process(client.run(env), name=f"client-{client.id}")
 
     def run(self, env: Environment) -> ResponseTimeMonitor:

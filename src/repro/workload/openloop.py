@@ -262,6 +262,12 @@ class OpenLoopGenerator:
         self.requests_sent = 0
         self.errors = 0
         self.failovers = 0
+        self.think_ms = 0.0
+        #: Optional :class:`~repro.obs.timeseries.TimeSeriesRecorder`;
+        #: when set, every successful response is streamed into the
+        #: current window as it happens (the one per-request telemetry
+        #: cost the sampler's pull model does not cover).
+        self.timeseries = None
         self._targets: List[Tuple[str, str]] = []
 
     # -- assembly -----------------------------------------------------------
@@ -401,6 +407,9 @@ class OpenLoopGenerator:
                 else:
                     self.requests_sent += 1
                     self.monitor.observe(env.now, group, visit.page, response_time)
+                    ts = self.timeseries
+                    if ts is not None:
+                        ts.observe_response(env.now, visit.page, response_time)
                 if session_broken:
                     break
                 if position != last:
@@ -412,6 +421,7 @@ class OpenLoopGenerator:
                     # lets the kernel batch same-instant wake-ups.
                     think = float(int(think_rng.expovariate(1.0 / mean_think)))
                     if think > 0.0:
+                        self.think_ms += think
                         yield env.sleep(think)
         finally:
             self.active -= 1

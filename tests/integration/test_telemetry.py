@@ -1,0 +1,338 @@
+"""Acceptance: windowed telemetry under a flash crowd with a WAN partition.
+
+One RUBiS open-loop cell (flash-crowd arrivals, admission cap 140,
+``edge-partition`` fault schedule) must produce a series artifact where
+the paper-relevant transients are *visible and assertable*:
+
+* the partition window rides on the artifact itself (fault overlay);
+* admission drops concentrate in the flash windows while the cap binds;
+* availability dips during the partition and recovers after it — with
+  the recovery time a first-class number from the SLO monitor;
+* the post-partition recovery churn shows as a p95 spike against the
+  pre-flash baseline.
+
+And the distribution contract: series / SLO / flamegraph artifacts are
+byte-identical for ``--jobs 1`` and ``--jobs 4``, with the merge algebra
+(counters add, gauges max, histogram counts add) holding across
+serial-vs-parallel merges of the same cells.
+"""
+
+import json
+import statistics
+
+import pytest
+
+from repro.core.patterns import PatternLevel
+from repro.experiments.runner import run_configuration, run_series
+from repro.faults.scenarios import load_schedule
+from repro.obs.export import export_metrics, export_series, validate_series
+from repro.obs.flame import collapse_spans, merge_folded, render_folded, validate_flamegraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import evaluate_slo, export_slo, load_slo, validate_slo
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.workload.openloop import OpenLoopConfig
+
+DURATION = 36_000.0
+WARMUP = 6_000.0
+
+#: Flash crowd over [14.4 s, 21.6 s) at 8x the base rate, capped at 140
+#: concurrent sessions so the surge hits admission control.
+FLASH = OpenLoopConfig(
+    scenario="flash-crowd",
+    session_rate_per_s=6.0,
+    duration_ms=DURATION,
+    warmup_ms=WARMUP,
+    think_time_ms=1_000.0,
+    max_sessions=140,
+)
+
+
+def _partition():
+    """edge1 partitioned from the router over [15 s, 24 s)."""
+    return load_schedule("edge-partition", DURATION, WARMUP, edges=("edge1", "edge2"))
+
+
+@pytest.fixture(scope="module")
+def flash_cell():
+    return run_configuration(
+        "rubis",
+        PatternLevel.REMOTE_FACADE,
+        openloop=FLASH,
+        faults=_partition(),
+        with_metrics=True,
+        obs_interval_ms=1000.0,
+    )
+
+
+def test_fault_window_rides_on_the_series(flash_cell):
+    series = flash_cell.series
+    assert series is not None
+    assert series.fault_windows == (
+        {
+            "kind": "partition",
+            "label": "router<->edge1",
+            "start": 15_000.0,
+            "end": 24_000.0,
+        },
+    )
+    state = series.to_state()
+    assert state["fault_windows"][0]["end"] == 24_000.0
+    assert validate_series({"series": {"rubis/L2": state}}) == []
+
+
+def test_sampler_streams_every_layer(flash_cell):
+    series = flash_cell.series
+    # Open-loop session lifecycle counters per window.
+    for name in ("sessions.arrivals", "sessions.admitted", "requests.sent"):
+        assert sum(v for _, v in series.counter_series(name)) > 0, name
+    # Database and kernel activity differentiated into windows.
+    assert sum(v for _, v in series.counter_series("db.statements")) > 0
+    assert sum(v for _, v in series.counter_series("kernel.events")) > 0
+    assert len(series.gauge_series("kernel.ready")) > 20
+    assert len(series.gauge_series("sessions.active")) > 20
+    # Windowed quantiles exist for the aggregate and for real pages.
+    assert len(series.quantile_series("_all", 0.95)) > 20
+
+
+def test_admission_drops_concentrate_in_the_flash(flash_cell):
+    drops = dict(flash_cell.series.counter_series("sessions.dropped"))
+    total = sum(drops.values())
+    assert total > 50
+    # Nothing is dropped before the surge arrives...
+    assert min(drops) >= 14_000.0
+    # ...the bulk lands while the flash (14.4–21.6 s) is arriving (a thin
+    # tail drains afterwards while partition churn holds sessions open)...
+    surge = sum(v for start, v in drops.items() if start < 22_000.0)
+    assert surge > 0.8 * total
+    # ...and the peak window is inside the flash.
+    peak = max(drops, key=drops.get)
+    assert 15_000.0 <= peak <= 22_000.0
+
+
+def test_availability_dips_in_partition_and_recovery_is_measured(flash_cell):
+    series = flash_cell.series
+    report = evaluate_slo(series.to_state(), load_slo("policies/slo-default.json"))
+    availability = report["objectives"]["availability"]
+    assert availability["violated"] > 0
+    bad = [row for row in availability["windows"] if not row["ok"]]
+    # Every out-of-SLO window overlaps the partition, and the dip is deep:
+    # edge1's whole population errors against the partitioned router.
+    assert all(row["in_fault"] for row in bad)
+    assert min(row["value"] for row in bad) < 0.85
+    assert all(row["burn"] > 1.0 for row in bad)
+    # Recovery to SLO is a number, not an eyeball: compliant again at the
+    # first window boundary after the partition heals.
+    recovery = availability["recovery"][0]
+    assert recovery["fault"] == "partition:router<->edge1"
+    assert recovery["recovery_ms"] is not None
+    assert recovery["recovery_ms"] <= 2_000.0
+
+
+def test_p95_spikes_on_post_partition_recovery(flash_cell):
+    p95 = dict(flash_cell.series.quantile_series("_all", 0.95))
+    baseline = statistics.median(
+        p95[start] for start in p95 if 8_000.0 <= start <= 14_000.0
+    )
+    # First window after the partition heals: reconnect churn from the
+    # backlog of edge1 sessions drives the tail up.
+    spike_window = min(start for start in p95 if start >= 24_000.0)
+    assert spike_window == 24_000.0
+    assert p95[spike_window] > 1.5 * baseline
+
+
+def test_telemetry_leaves_the_monitor_untouched(flash_cell):
+    """The sampler adds kernel wakes but zero workload perturbation."""
+    bare = run_configuration(
+        "rubis",
+        PatternLevel.REMOTE_FACADE,
+        openloop=FLASH,
+        faults=_partition(),
+    )
+    assert bare.monitor.to_state() == flash_cell.monitor.to_state()
+    assert bare.trace_summary == flash_cell.trace_summary
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel byte identity
+# ---------------------------------------------------------------------------
+
+LEVELS = [PatternLevel.REMOTE_FACADE, PatternLevel.ASYNC_UPDATES]
+STEADY = OpenLoopConfig(
+    scenario="steady",
+    session_rate_per_s=4.0,
+    duration_ms=20_000.0,
+    warmup_ms=5_000.0,
+    think_time_ms=1_000.0,
+    max_sessions=120,
+)
+
+
+def _sweep(jobs):
+    return run_series(
+        "rubis",
+        levels=LEVELS,
+        openloop=STEADY,
+        faults=load_schedule("edge-partition", 20_000.0, 5_000.0, edges=("edge1", "edge2")),
+        seed=21,
+        with_metrics=True,
+        with_spans=True,
+        jobs=jobs,
+        obs_interval_ms=1000.0,
+        obs_sample=0.25,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return _sweep(1)
+
+
+@pytest.fixture(scope="module")
+def parallel_sweep():
+    return _sweep(4)
+
+
+def _artifacts(results, directory):
+    """Write series/SLO/flame artifacts exactly as the CLI exporter does."""
+    labelled = [
+        (f"rubis/L{int(level)}", results[level]) for level in LEVELS
+    ]
+    series_path = directory / "series.json"
+    export_series(
+        [(label, cell.series_state) for label, cell in labelled],
+        str(series_path),
+    )
+    objectives = load_slo("policies/slo-default.json")
+    slo_path = directory / "slo.json"
+    export_slo(
+        {
+            label: evaluate_slo(cell.series_state, objectives)
+            for label, cell in labelled
+        },
+        str(slo_path),
+    )
+    flame_path = directory / "flame.txt"
+    folded = merge_folded(
+        *(
+            collapse_spans(cell.spans_state["spans"], root_prefix=label)
+            for label, cell in labelled
+        )
+    )
+    flame_path.write_text(render_folded(folded))
+    return series_path, slo_path, flame_path
+
+
+def test_artifacts_byte_identical_for_any_jobs(
+    serial_sweep, parallel_sweep, tmp_path
+):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    serial_dir.mkdir()
+    parallel_dir.mkdir()
+    for one, two in zip(
+        _artifacts(serial_sweep, serial_dir),
+        _artifacts(parallel_sweep, parallel_dir),
+    ):
+        assert one.read_bytes() == two.read_bytes(), one.name
+    assert validate_series(json.loads((serial_dir / "series.json").read_text())) == []
+    assert validate_slo(json.loads((serial_dir / "slo.json").read_text())) == []
+    assert validate_flamegraph((serial_dir / "flame.txt").read_text()) == []
+
+
+def test_metrics_identical_when_telemetry_is_on_everywhere(
+    serial_sweep, parallel_sweep, tmp_path
+):
+    """cpu gauges divide by end-of-run env.now, which the sampler's final
+    wake extends — but identically in every process, so metrics stay
+    byte-stable across --jobs as long as telemetry is on (or off) in both."""
+    for suffix, results in (("s", serial_sweep), ("p", parallel_sweep)):
+        export_metrics(
+            [(f"rubis/L{int(lvl)}", results[lvl].metrics_state) for lvl in LEVELS],
+            str(tmp_path / f"{suffix}.json"),
+        )
+    assert (tmp_path / "s.json").read_bytes() == (tmp_path / "p.json").read_bytes()
+
+
+def test_merge_state_round_trip_serial_vs_parallel(serial_sweep, parallel_sweep):
+    """Satellite: folding N cells into one recorder/registry commutes
+    with where the cells ran."""
+
+    def merged_series(results):
+        recorder = TimeSeriesRecorder(interval_ms=1000.0)
+        for level in LEVELS:
+            recorder.merge_state(results[level].series_state)
+        return json.dumps(recorder.to_state(), sort_keys=True)
+
+    def merged_metrics(results):
+        registry = MetricsRegistry()
+        for level in LEVELS:
+            registry.merge_state(results[level].metrics_state)
+        return json.dumps(registry.to_state(), sort_keys=True)
+
+    assert merged_series(serial_sweep) == merged_series(parallel_sweep)
+    assert merged_metrics(serial_sweep) == merged_metrics(parallel_sweep)
+    # Round trip: a merged recorder reconstructs from its own state.
+    recorder = TimeSeriesRecorder(interval_ms=1000.0)
+    for level in LEVELS:
+        recorder.merge_state(serial_sweep[level].series_state)
+    state = recorder.to_state()
+    assert TimeSeriesRecorder.from_state(state).to_state() == state
+
+
+def test_span_sampling_is_identical_across_processes(serial_sweep, parallel_sweep):
+    for level in LEVELS:
+        serial_spans = serial_sweep[level].spans_state
+        parallel_spans = parallel_sweep[level].spans_state
+        assert serial_spans == parallel_spans
+        assert serial_spans["sample_rate"] == 0.25
+        assert serial_spans["skipped_requests"] > serial_spans["sampled_requests"]
+
+
+# ---------------------------------------------------------------------------
+# CLI end to end
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exports_and_validates_all_artifacts(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+    from repro.obs.validate import validate_file
+
+    series = tmp_path / "series.json"
+    slo = tmp_path / "slo.json"
+    flame = tmp_path / "flame.txt"
+    html = tmp_path / "flame.html"
+    trace = tmp_path / "trace.json"
+    code = main(
+        [
+            "table7",
+            "--workload", "open",
+            "--scenario", "steady",
+            "--session-rate", "3",
+            "--think-time", "1",
+            "--duration", "15",
+            "--warmup", "4",
+            "--jobs", "1",
+            "--obs-sample", "0.5",
+            "--trace-out", str(trace),
+            "--series-out", str(series),
+            "--slo", "policies/slo-default.json",
+            "--slo-out", str(slo),
+            "--flame-out", str(flame),
+            "--flame-html", str(html),
+        ]
+    )
+    assert code == 0
+    for path in (trace, series, slo, flame):
+        assert validate_file(str(path)) == [], path.name
+    assert html.read_text().startswith("<!DOCTYPE html>")
+    captured = capsys.readouterr()
+    assert "SLO report" in captured.out
+    assert "Latency attribution" in captured.out
+    # The per-cell trace digest (stderr) reports the sampled fraction.
+    assert "spans sampled" in captured.err
+
+
+def test_cli_rejects_slo_out_without_slo(tmp_path):
+    from repro.experiments.__main__ import main
+
+    assert main(["table7", "--slo-out", str(tmp_path / "x.json")]) == 2

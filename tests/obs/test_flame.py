@@ -1,0 +1,111 @@
+"""Collapsed-stack folding: self-time arithmetic, merge, render, validate.
+
+The invariant the flamegraph rests on: every finished span contributes
+exactly its self time (duration minus finished children) under its full
+parent chain, so column widths sum to wall time per request and the
+``[wan]`` frames isolate wide-area cost at every depth.
+"""
+
+import pytest
+
+from repro.obs.flame import (
+    collapse_spans,
+    layer_self_times,
+    merge_folded,
+    render_attribution,
+    render_flame_html,
+    render_folded,
+    validate_flamegraph,
+)
+
+
+def _spans():
+    """http(0-100) > rmi[wan](10-40) > jdbc(15-35): self 70/10/20 ms."""
+    return [
+        {"id": 1, "parent_id": None, "kind": "http", "name": "GET /item",
+         "node": "edge1", "start": 0.0, "end": 100.0, "wide_area": False},
+        {"id": 2, "parent_id": 1, "kind": "rmi", "name": "ItemFacade.get",
+         "node": "edge1", "start": 10.0, "end": 40.0, "wide_area": True},
+        {"id": 3, "parent_id": 2, "kind": "jdbc", "name": "q7",
+         "node": "main", "start": 15.0, "end": 35.0, "wide_area": False},
+    ]
+
+
+def test_collapse_assigns_self_time_in_integer_microseconds():
+    folded = collapse_spans(_spans())
+    assert folded == {
+        "http:GET /item": 70_000,
+        "http:GET /item;rmi:ItemFacade.get [wan]": 10_000,
+        "http:GET /item;rmi:ItemFacade.get [wan];jdbc:q7": 20_000,
+    }
+
+
+def test_collapse_prefixes_cell_label_and_skips_unfinished():
+    spans = _spans()
+    spans.append({"id": 4, "parent_id": 1, "kind": "rmi", "name": "inflight",
+                  "node": "edge1", "start": 90.0, "end": None,
+                  "wide_area": True})
+    folded = collapse_spans(spans, root_prefix="rubis/L2")
+    assert all(stack.startswith("rubis/L2;") for stack in folded)
+    assert not any("inflight" in stack for stack in folded)
+
+
+def test_truncated_parent_roots_its_own_stack():
+    orphan = [{"id": 9, "parent_id": 4, "kind": "jdbc", "name": "q1",
+               "node": "main", "start": 0.0, "end": 5.0, "wide_area": False}]
+    assert collapse_spans(orphan) == {"jdbc:q1": 5_000}
+
+
+def test_merge_folded_adds_weights():
+    first = collapse_spans(_spans())
+    merged = merge_folded(first, {"http:GET /item": 1_000, "other:x": 2})
+    assert merged["http:GET /item"] == 71_000
+    assert merged["other:x"] == 2
+
+
+def test_render_folded_round_trips_through_validate():
+    text = render_folded(collapse_spans(_spans()))
+    assert text.endswith("\n")
+    assert validate_flamegraph(text) == []
+    # Frames contain spaces; the weight is still the last token.
+    line = text.splitlines()[0]
+    assert line.rpartition(" ")[2].isdigit()
+
+
+@pytest.mark.parametrize(
+    "text,needle",
+    [
+        ("", "empty"),
+        ("stack 0\n", "non-positive"),
+        ("stack x\n", "not an integer"),
+        ("b:x 1\na:y 1\n", "sorted"),
+        (" 5\n", "no stack"),
+    ],
+)
+def test_validate_flamegraph_flags_problems(text, needle):
+    problems = validate_flamegraph(text)
+    assert any(needle in problem for problem in problems)
+
+
+def test_layer_self_times_projects_kinds_and_wan():
+    layers = layer_self_times(_spans())
+    assert layers == pytest.approx(
+        {"web": 70.0, "rmi@wan": 10.0, "jdbc": 20.0}
+    )
+
+
+def test_render_attribution_includes_think_and_total():
+    text = render_attribution("rubis/L2", layer_self_times(_spans()), think_ms=900.0)
+    assert "rubis/L2" in text and "think" in text and "total" in text
+    # think dominates: 900 of 1000 ms == 90%.
+    assert "90.0%" in text
+    empty = render_attribution("x", {})
+    assert "no finished spans" in empty
+
+
+def test_render_flame_html_is_self_contained():
+    html = render_flame_html(collapse_spans(_spans()))
+    assert html.startswith("<!DOCTYPE html>")
+    assert "ItemFacade.get" in html and "frame wan" in html
+    assert "100_000" not in html  # weights rendered as plain integers
+    assert "100000 us total self time" in html

@@ -223,3 +223,59 @@ def test_r2_falls_back_to_flat_trace_when_spans_dropped(facade_result):
     # Fall-back still checks R2 (via the flat trace) and still passes.
     assert "R2" in report.checked_rules
     assert report.ok, report.summary()
+
+
+# -- deterministic per-session sampling ---------------------------------------
+
+
+def test_sample_decision_is_deterministic_across_recorders():
+    """Same session id, same verdict, in every process — CRC32, not hash()."""
+    ids = [f"client-{i}-session-{j}" for i in range(8) for j in range(40)]
+    first = SpanRecorder(sample_rate=0.25)
+    second = SpanRecorder(sample_rate=0.25)
+    assert [first.sample(s) for s in ids] == [second.sample(s) for s in ids]
+    # The hash spreads: the kept fraction lands near the rate.
+    assert 0.15 < first.sampled_requests / len(ids) < 0.35
+    assert first.sampled_requests + first.skipped_requests == len(ids)
+
+
+def test_sample_rate_one_keeps_everything():
+    recorder = SpanRecorder()
+    assert all(recorder.sample(f"s{i}") for i in range(50))
+    assert recorder.skipped_requests == 0
+    assert recorder.sampled_requests == 50
+
+
+def test_sample_rate_validated():
+    import pytest as _pytest
+
+    for rate in (0.0, -0.1, 1.5):
+        with _pytest.raises(ValueError):
+            SpanRecorder(sample_rate=rate)
+
+
+def test_sampling_state_keys_only_present_when_sampling():
+    full = SpanRecorder()
+    assert "sample_rate" not in full.to_state()  # legacy artifacts unchanged
+    sampled = SpanRecorder(sample_rate=0.5)
+    sampled.sample("a")
+    sampled.sample("b")
+    state = sampled.to_state()
+    assert state["sample_rate"] == 0.5
+    assert state["sampled_requests"] + state["skipped_requests"] == 2
+    restored = SpanRecorder.from_state(state)
+    assert restored.sample_rate == 0.5
+    assert restored.sampled_requests == state["sampled_requests"]
+
+
+def test_trace_summary_reports_sampled_fraction():
+    from dataclasses import replace
+
+    from repro.simnet.monitor import TraceSummary
+
+    summary = TraceSummary(records=10, by_kind={"rmi": 3, "jdbc": 7})
+    assert "spans sampled" not in summary.render()
+    sampled = replace(summary, span_sample_rate=0.25, spans_sampled=3,
+                      spans_skipped=9)
+    text = sampled.render()
+    assert "spans sampled 3/12 sessions (rate 0.25)" in text

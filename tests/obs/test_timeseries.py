@@ -1,0 +1,193 @@
+"""Windowed telemetry: histogram quantiles, recorder state, merge identity.
+
+Satellite properties: ``Histogram.percentile`` interpolates inside the
+bucket holding the q-th observation and is exact (to within one bucket
+width) on known distributions; ``TimeSeriesRecorder`` state survives a
+serialize/merge round trip with counters adding, gauges maxing and
+histogram counts adding — the algebra the ``--jobs N`` byte-identity
+rests on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import export_series, validate_series
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import HDR_BOUNDS, TimeSeriesRecorder, _hdr_bounds
+
+
+# -- percentile / cdf against exact answers ----------------------------------
+
+
+def test_percentile_interpolates_uniform_distribution():
+    """Uniform 1..100 against decade-free 10-wide buckets: p95 is exact."""
+    histogram = Histogram(bounds=tuple(float(b) for b in range(10, 101, 10)))
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    assert histogram.percentile(0.95) == pytest.approx(95.0)
+    assert histogram.percentile(0.50) == pytest.approx(50.0)
+    assert histogram.percentile(0.10) == pytest.approx(10.0)
+    # Extremes clamp to the grid, not beyond it.
+    assert histogram.percentile(1.0) == pytest.approx(100.0)
+    assert 0.0 <= histogram.percentile(0.0) <= 10.0
+
+
+def test_percentile_one_observation_per_bucket():
+    """{5, 15, 25, 35}: the median interpolates to the 15/25 midpoint."""
+    histogram = Histogram(bounds=(10.0, 20.0, 30.0, 40.0))
+    for value in (5.0, 15.0, 25.0, 35.0):
+        histogram.observe(value)
+    assert histogram.percentile(0.5) == pytest.approx(20.0)
+    assert histogram.percentile(0.25) == pytest.approx(10.0)
+
+
+def test_percentile_overflow_clamps_to_last_finite_bound():
+    histogram = Histogram(bounds=(10.0,))
+    histogram.observe(100.0)
+    histogram.observe(200.0)
+    assert histogram.percentile(0.99) == pytest.approx(10.0)
+
+
+def test_percentile_empty_histogram_is_zero():
+    assert Histogram(bounds=(10.0,)).percentile(0.95) == 0.0
+
+
+def test_cdf_interpolates_and_is_monotone():
+    histogram = Histogram(bounds=tuple(float(b) for b in range(10, 101, 10)))
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    assert histogram.cdf(95.0) == pytest.approx(0.95)
+    assert histogram.cdf(50.0) == pytest.approx(0.50)
+    assert histogram.cdf(100.0) == pytest.approx(1.0)
+    samples = [histogram.cdf(float(v)) for v in range(0, 120, 5)]
+    assert samples == sorted(samples)
+
+
+def test_cdf_overflow_mass_counts_above_any_finite_value():
+    histogram = Histogram(bounds=(10.0,))
+    histogram.observe(5.0)
+    histogram.observe(100.0)  # overflow bucket
+    assert histogram.cdf(50.0) == pytest.approx(0.5)
+    assert Histogram(bounds=(10.0,)).cdf(1.0) == 1.0  # vacuously compliant
+
+
+def test_hdr_bounds_grid_shape():
+    assert list(HDR_BOUNDS) == sorted(HDR_BOUNDS)
+    assert HDR_BOUNDS[0] == 1.0
+    assert HDR_BOUNDS[-1] == 60_000.0
+    # ~12 buckets per decade: adjacent ratio stays near 10^(1/12).
+    ratios = [b / a for a, b in zip(HDR_BOUNDS, HDR_BOUNDS[1:-1])]
+    assert all(1.15 < r < 1.30 for r in ratios)
+    assert _hdr_bounds(1.0, 10.0, per_decade=1) == (1.0, 10.0)
+
+
+# -- recorder windows ---------------------------------------------------------
+
+
+def test_observe_response_bins_by_simulated_time():
+    recorder = TimeSeriesRecorder(interval_ms=1000.0, bounds=(50.0, 500.0))
+    recorder.observe_response(100.0, "home", 40.0)
+    recorder.observe_response(999.0, "home", 60.0)
+    recorder.observe_response(1500.0, "item", 400.0)
+    assert recorder.indices() == [0, 1]
+    assert recorder.window_start(1) == 1000.0
+    assert recorder.counter_series("responses") == [(0.0, 2), (1000.0, 1)]
+    # Window 0 holds both the page and the _all aggregate.
+    quantiles = recorder.window_quantiles(0)
+    assert set(quantiles) == {"_all", "home"}
+    assert quantiles["_all"].count == 2
+    series = recorder.quantile_series("_all", 0.5)
+    assert [start for start, _ in series] == [0.0, 1000.0]
+
+
+def test_count_and_gauge_accessors():
+    recorder = TimeSeriesRecorder(interval_ms=500.0)
+    recorder.count(100.0, "drops", 3)
+    recorder.count(100.0, "drops", 0)  # zero deltas are not stored
+    recorder.record_gauge(600.0, "active", 17)
+    assert recorder.counter_series("drops") == [(0.0, 3)]
+    assert recorder.gauge_series("active") == [(500.0, 17)]
+
+
+def test_recorder_rejects_bad_interval_and_bounds():
+    with pytest.raises(ValueError):
+        TimeSeriesRecorder(interval_ms=0.0)
+    with pytest.raises(ValueError):
+        TimeSeriesRecorder(bounds=(10.0, 5.0))
+
+
+# -- state round trip and merge algebra ---------------------------------------
+
+
+def _sample_recorder() -> TimeSeriesRecorder:
+    recorder = TimeSeriesRecorder(interval_ms=1000.0, bounds=(50.0, 500.0))
+    recorder.observe_response(100.0, "home", 40.0)
+    recorder.observe_response(1200.0, "item", 300.0)
+    recorder.count(150.0, "sessions.dropped", 2)
+    recorder.record_gauge(150.0, "sessions.active", 5)
+    return recorder
+
+
+def test_state_round_trip_is_exact():
+    recorder = _sample_recorder()
+    state = recorder.to_state()
+    assert TimeSeriesRecorder.from_state(state).to_state() == state
+    # Canonical form: window keys are strings, sections sorted.
+    assert all(isinstance(key, str) for key in state["windows"])
+    for entry in state["windows"].values():
+        for section in ("counters", "gauges", "quantiles"):
+            if section in entry:
+                assert list(entry[section]) == sorted(entry[section])
+
+
+def test_merge_adds_counters_maxes_gauges_adds_quantiles():
+    first = _sample_recorder()
+    second = TimeSeriesRecorder(interval_ms=1000.0, bounds=(50.0, 500.0))
+    second.observe_response(400.0, "home", 450.0)
+    second.count(100.0, "sessions.dropped", 7)
+    second.record_gauge(100.0, "sessions.active", 3)
+    first.merge_state(second.to_state())
+    assert first.counter_series("sessions.dropped") == [(0.0, 9)]
+    assert first.gauge_series("sessions.active") == [(0.0, 5)]  # max wins
+    merged = first.window_quantiles(0)["home"]
+    assert merged.count == 2
+    assert merged.total == pytest.approx(490.0)
+
+
+def test_merge_rejects_mismatched_grids():
+    recorder = TimeSeriesRecorder(interval_ms=1000.0)
+    with pytest.raises(ValueError):
+        recorder.merge_state({"interval_ms": 500.0, "bounds": list(HDR_BOUNDS)})
+    with pytest.raises(ValueError):
+        recorder.merge_state({"interval_ms": 1000.0, "bounds": [1.0, 2.0]})
+
+
+def test_merge_unions_fault_windows_without_duplicates():
+    row = {"kind": "partition", "label": "router<->edge1", "start": 5000.0, "end": 9000.0}
+    first = TimeSeriesRecorder(interval_ms=1000.0)
+    first.fault_windows = (dict(row),)
+    other = TimeSeriesRecorder(interval_ms=1000.0)
+    other.fault_windows = (
+        dict(row),
+        {"kind": "crash", "label": "edge2", "start": 2000.0, "end": 4000.0},
+    )
+    first.merge_state(other.to_state())
+    assert [w["kind"] for w in first.fault_windows] == ["crash", "partition"]
+
+
+def test_series_export_validates_clean(tmp_path):
+    path = tmp_path / "series.json"
+    export_series([("app/L2", _sample_recorder().to_state())], str(path))
+    data = json.loads(path.read_text())
+    assert validate_series(data) == []
+    # Canonical writer: compact separators, sorted keys, trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n") and '": ' not in text
+
+
+def test_validate_series_flags_corrupt_quantiles(tmp_path):
+    state = _sample_recorder().to_state()
+    state["windows"]["0"]["quantiles"]["home"]["count"] = 99
+    problems = validate_series({"series": {"app/L2": state}})
+    assert problems and any("count" in problem for problem in problems)
