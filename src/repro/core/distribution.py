@@ -22,9 +22,11 @@ from ..middleware.server import AppServer
 from ..middleware.updates import UPDATE_TOPIC, UpdatePropagator
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder
+from ..rdbms.cluster import DataTierCluster, MAIN_SEAT, build_cluster
 from ..rdbms.engine import Database
 from ..rdbms.server import DatabaseServer, DbCostModel
 from ..simnet.kernel import Environment
+from ..simnet.rng import Streams
 from ..simnet.monitor import Trace
 from ..simnet.topology import Testbed
 from .automation import AutomationReport, apply_policy
@@ -52,6 +54,8 @@ class DeployedSystem:
     metrics: Optional["MetricsRegistry"] = None
     resilience: Optional[ResilienceStats] = None
     policy: Optional[PlacementPolicy] = None
+    # Sharded/replicated data tier; None under a single-instance policy.
+    cluster: Optional[DataTierCluster] = None
 
     @property
     def main(self) -> AppServer:
@@ -144,12 +148,15 @@ def distribute(
     trace: Optional[Trace] = None,
     spans: Optional[SpanRecorder] = None,
     metrics: Optional[MetricsRegistry] = None,
+    streams: Optional[Streams] = None,
 ) -> DeployedSystem:
     """Deploy ``application`` across the testbed under ``policy``.
 
     ``policy`` is a :class:`PlacementPolicy`; a bare
     :class:`PatternLevel` (or int) selects the matching canned policy,
-    which is how the paper's five configurations run.
+    which is how the paper's five configurations run.  ``streams`` is
+    only consulted when the policy declares a ``data_tier`` block (the
+    cluster's election timers draw from named streams).
     """
     if not isinstance(policy, PlacementPolicy):
         policy = level_policy(PatternLevel(policy), application)
@@ -169,6 +176,25 @@ def distribute(
         env, testbed.network.node(testbed.db_server), database, cost_model=db_cost_model
     )
 
+    # 3b. Sharded/replicated data tier, only when the policy declares one.
+    # Seats are the main site plus one per edge; each raft member gets
+    # its own seeded Database copy, so the original single-instance
+    # database (still used for replica/cache warm-up at t=0) is untouched.
+    cluster = None
+    if policy.data_tier is not None:
+        seats = [(MAIN_SEAT, testbed.network.node(testbed.db_server))] + [
+            (name, testbed.network.node(name)) for name in testbed.edge_servers
+        ]
+        cluster = build_cluster(
+            env,
+            testbed.network,
+            policy.data_tier,
+            seats,
+            database,
+            streams or Streams(),
+            cost_model=db_cost_model,
+        )
+
     # 4. Application servers.
     servers: Dict[str, AppServer] = {}
     for server_name in plan.all_servers:
@@ -185,6 +211,7 @@ def distribute(
             metrics=metrics,
         )
         server.attach_network(testbed.network)
+        server.cluster = cluster
         servers[server_name] = server
     main = servers[plan.main]
     for server in servers.values():
@@ -262,4 +289,5 @@ def distribute(
         metrics=metrics,
         resilience=resilience,
         policy=policy,
+        cluster=cluster,
     )

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..middleware.descriptors import ApplicationDescriptor, ComponentKind, UpdateMode
+from ..rdbms.cluster.config import DataTierError, DataTierPolicy
 from .patterns import PatternLevel
 
 __all__ = [
@@ -119,6 +120,9 @@ class PlacementPolicy:
     query_caches: Tuple[str, ...] = ()
     update_mode: UpdateMode = UpdateMode.SYNC
     level: Optional[int] = None
+    # Optional distribution of the data tier itself (sharding +
+    # replication); absent means today's single-instance database.
+    data_tier: Optional[DataTierPolicy] = None
 
     # -- derived properties ---------------------------------------------------
     @property
@@ -171,6 +175,8 @@ class PlacementPolicy:
             payload["query_caches"] = list(self.query_caches)
         if self.level is not None:
             payload["level"] = int(self.level)
+        if self.data_tier is not None:
+            payload["data_tier"] = self.data_tier.to_json()
         return payload
 
     def to_json_str(self) -> str:
@@ -181,7 +187,7 @@ class PlacementPolicy:
         if not isinstance(payload, dict):
             raise PolicyError(f"policy must be a JSON object, got {payload!r}")
         unknown = set(payload) - {
-            "name", "components", "query_caches", "update_mode", "level"
+            "name", "components", "query_caches", "update_mode", "level", "data_tier"
         }
         if unknown:
             raise PolicyError(f"unknown policy keys: {sorted(unknown)}")
@@ -202,6 +208,13 @@ class PlacementPolicy:
         components_raw = payload.get("components", {})
         if not isinstance(components_raw, dict):
             raise PolicyError("components must be an object keyed by component name")
+        data_tier_raw = payload.get("data_tier")
+        data_tier = None
+        if data_tier_raw is not None:
+            try:
+                data_tier = DataTierPolicy.from_json(data_tier_raw)
+            except DataTierError as exc:
+                raise PolicyError(str(exc)) from None
         return cls(
             name=str(payload.get("name", "custom")),
             components={
@@ -211,6 +224,7 @@ class PlacementPolicy:
             query_caches=tuple(payload.get("query_caches", ())),
             update_mode=mode,
             level=level,
+            data_tier=data_tier,
         )
 
     # -- validation -----------------------------------------------------------
@@ -250,6 +264,11 @@ class PlacementPolicy:
         if self.query_caches and not application.query_caches:
             errors.append(
                 "policy activates query caches but the application declares none"
+            )
+        if self.data_tier is not None:
+            errors.extend(
+                f"data_tier: {error}"
+                for error in self.data_tier.validation_errors()
             )
         return errors
 

@@ -21,6 +21,12 @@ run, producing a structured report:
 * **R5 — no blocking wide-area writes**: under asynchronous update
   propagation, transaction commits never block on synchronous WAN
   pushes.
+* **R6 — coherent data tier**: when the policy distributes the data
+  tier itself (a ``data_tier`` block), the shard/replica declaration
+  must fit the topology (replica quorums achievable with the available
+  database seats, sharded/global tables that actually exist), and at
+  runtime every replica group must end the run with a live leader and
+  zero failed log applications.
 
 Which rules apply is derived from the *deployment itself* — does the
 plan distribute the web tier beyond the main server, does it place
@@ -42,6 +48,7 @@ from ..simnet.monitor import Trace
 from .distribution import DeployedSystem
 from .patterns import PatternLevel
 from .planner import DeploymentPlan
+from .policy import PlacementPolicy
 
 __all__ = ["RuleViolation", "RuleReport", "DesignRuleChecker", "precheck"]
 
@@ -118,6 +125,8 @@ class DesignRuleChecker:
         )
         if asynchronous:
             self._check_r5(report)
+        if getattr(self.system, "cluster", None) is not None:
+            self._check_r6(report)
         return report
 
     # -- R1 -----------------------------------------------------------------
@@ -253,6 +262,43 @@ class DesignRuleChecker:
                         )
                     )
 
+    # -- R6 -----------------------------------------------------------------
+    def _check_r6(self, report: RuleReport) -> None:
+        report.checked_rules.append("R6")
+        cluster = self.system.cluster
+        stats = cluster.stats
+        report.metrics["cluster_elections_won"] = float(stats.elections_won)
+        report.metrics["cluster_leader_failovers"] = float(stats.leader_failovers)
+        report.metrics["cluster_apply_errors"] = float(stats.apply_errors)
+        for group in cluster.groups:
+            if len(group.members) != cluster.tier.replication_factor:
+                report.violations.append(
+                    RuleViolation(
+                        "R6",
+                        group.name,
+                        f"{len(group.members)} member(s) for a declared "
+                        f"replication factor of {cluster.tier.replication_factor}",
+                    )
+                )
+            if group.live_leader() is None:
+                report.violations.append(
+                    RuleViolation(
+                        "R6",
+                        group.name,
+                        "no live leader at the end of the run "
+                        "(election never completed after the fault window)",
+                    )
+                )
+        if stats.apply_errors > 0:
+            report.violations.append(
+                RuleViolation(
+                    "R6",
+                    "replication",
+                    f"{stats.apply_errors} committed log entries failed "
+                    f"to apply on a replica (copies diverged)",
+                )
+            )
+
     # -- R5 -----------------------------------------------------------------
     def _check_r5(self, report: RuleReport) -> None:
         report.checked_rules.append("R5")
@@ -311,15 +357,20 @@ def _static_r3(
 
 
 def precheck(
-    application: ApplicationDescriptor, plan: DeploymentPlan
+    application: ApplicationDescriptor,
+    plan: DeploymentPlan,
+    policy: Optional[PlacementPolicy] = None,
 ) -> RuleReport:
     """Static design-rule check of a plan, before any simulation.
 
     Covers the rules decidable from descriptors and placements alone:
-    R1 (entity beans must not expose remote interfaces) and — when the
+    R1 (entity beans must not expose remote interfaces), — when the
     plan distributes the web tier — R3 (session-oriented components
-    present on every entry server).  The trace-driven rules (R2, R4, R5)
-    need a run and stay with :class:`DesignRuleChecker`.
+    present on every entry server), and — when ``policy`` declares a
+    ``data_tier`` block — the static half of R6 (replica quorums
+    achievable with this topology's database seats, shard keys against
+    known entity tables).  The trace-driven rules (R2, R4, R5, runtime
+    R6) need a run and stay with :class:`DesignRuleChecker`.
     """
     report = RuleReport(level=plan.level)
     report.checked_rules.append("R1")
@@ -327,4 +378,41 @@ def precheck(
     if _web_tier_distributed(plan):
         report.checked_rules.append("R3")
         _static_r3(report, application, plan)
+    if policy is not None and policy.data_tier is not None:
+        report.checked_rules.append("R6")
+        _static_r6(report, application, plan, policy.data_tier)
     return report
+
+
+def _static_r6(report: RuleReport, application, plan, tier) -> None:
+    # One database seat at the main site plus one per edge server.
+    seat_count = 1 + len(plan.edges)
+    for error in tier.validation_errors(seat_count=seat_count):
+        report.violations.append(RuleViolation("R6", "data_tier", error))
+    known = {
+        descriptor.table
+        for descriptor in application.components.values()
+        if getattr(descriptor, "table", None)
+    }
+    if not known:
+        return
+    for table, key in tier.shard_tables:
+        if table not in known:
+            report.violations.append(
+                RuleViolation(
+                    "R6",
+                    table,
+                    f"sharded table (key {key!r}) matches no entity table "
+                    f"of application {application.name!r}",
+                )
+            )
+    for table in tier.global_tables:
+        if table not in known:
+            report.violations.append(
+                RuleViolation(
+                    "R6",
+                    table,
+                    f"global table matches no entity table of application "
+                    f"{application.name!r}",
+                )
+            )

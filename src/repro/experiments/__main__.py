@@ -66,8 +66,8 @@ from ..faults.report import (
     build_availability_table,
     render_availability_table,
 )
-from ..faults.scenarios import SCENARIOS, load_schedule
-from ..simnet.topology import TopologyOverrides
+from ..faults.scenarios import SCENARIOS, default_edges, load_schedule
+from ..simnet.topology import TestbedConfig, TopologyOverrides
 from ..workload.openloop import ARRIVALS, SCENARIOS as OPENLOOP_SCENARIOS, OpenLoopConfig
 from .calibration import SIM_DURATION_MS, SIM_WARMUP_MS, default_workload
 from .figures import build_figure, figure_to_csv, render_figure
@@ -222,7 +222,7 @@ def _run_plan(args, policy, topology) -> int:
             except (PolicyError, PlanError) as exc:
                 print(f"[plan] {app}: {exc}", file=sys.stderr)
                 return 2
-            report = precheck(application, plan)
+            report = precheck(application, plan, policy=resolved)
             print(f"== {app} · policy '{resolved.name}' ==")
             print(plan.describe())
             print()
@@ -598,10 +598,13 @@ def main(argv=None) -> int:
 
     faults = None
     if args.faults is not None:
-        # Canned scenarios target the actual edges of the (possibly
-        # overridden) topology — edge1 always exists since --edges >= 1.
-        edge_count = args.edges if args.edges is not None else 2
-        fault_edges = tuple(f"edge{i + 1}" for i in range(edge_count))
+        # Canned scenarios target the actual edges of the effective
+        # (possibly overridden) topology — derived from TestbedConfig, so
+        # a changed calibration default propagates here automatically.
+        effective = TestbedConfig()
+        if topology is not None:
+            effective = topology.apply(effective)
+        fault_edges = default_edges(effective)
         faults = load_schedule(
             args.faults, args.duration * 1000.0, args.warmup * 1000.0,
             edges=fault_edges,

@@ -269,7 +269,16 @@ def run_configuration(
         trace=trace,
         spans=spans,
         metrics=metrics,
+        streams=streams,
     )
+    if system.cluster is not None:
+        # The raft heartbeat/election driver is horizon-bounded: the load
+        # generators run the kernel to exhaustion, so an open-ended
+        # driver would never let the simulation drain.
+        horizon_ms = (
+            openloop.duration_ms if openloop is not None else workload.duration_ms
+        )
+        system.cluster.start(horizon_ms)
     if warm_replicas:
         # Stand-in for the paper's measurement-excluded warm-up hour:
         # read-only replicas and query caches start hot.

@@ -73,6 +73,13 @@ class FaultInjector:
         for index, fault in enumerate(self.schedule.crashes):
             server = system.servers.get(fault.server)
             if server is None:
+                # A crash naming no app server may target a data-tier
+                # seat ("db", or an edge hosting only replicas): resolve
+                # it to the cluster members seated there, if any.
+                cluster = getattr(system, "cluster", None)
+                if cluster is not None:
+                    server = cluster.seat_target(fault.server)
+            if server is None:
                 self.skipped += 1
                 continue
             env.process(

@@ -55,6 +55,11 @@ def collect_resilience(system, generator=None) -> dict:
     if stats is not None:
         stats.finalize(system.env.now)
         data.update(stats.to_dict())
+    cluster = getattr(system, "cluster", None)
+    if cluster is not None:
+        # Only present for data-tier policies, so every artifact of a
+        # single-instance run stays byte-identical to pre-cluster output.
+        data["cluster"] = cluster.stats.to_dict()
     return data
 
 
@@ -126,6 +131,17 @@ def render_availability_table(table: AvailabilityTable) -> str:
             f"{row.get('dropped_updates', 0):>5d} "
             f"{staleness_s:>9.3f}"
         )
+        cluster = row.get("cluster")
+        if cluster:
+            lines.append(
+                "  data tier: "
+                f"elections={cluster.get('elections_won', 0)} "
+                f"failovers={cluster.get('leader_failovers', 0)} "
+                f"quorum_commits={cluster.get('quorum_commits', 0)} "
+                f"xshard_txns={cluster.get('cross_shard_txns', 0)} "
+                f"stale_reads={cluster.get('stale_reads_served', 0)} "
+                f"staleness={cluster.get('staleness_ms', 0.0) / 1000.0:.3f}s"
+            )
     return "\n".join(lines)
 
 

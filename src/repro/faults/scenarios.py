@@ -5,9 +5,11 @@ windows are placed relative to the measured (post-warm-up) portion of
 the run so the same scenario name works for a 40-second smoke cell and a
 full 20-minute sweep, and faults target the *actual* edge servers of the
 testbed — the first edge for single-target scenarios, every edge for
-WAN-wide ones — so ``--edges 1`` and ``--edges 10`` both work.
-``load_schedule`` is the CLI entry point: it accepts either a canned
-scenario name or a path to a JSON file matching
+WAN-wide ones — so ``--edges 1`` and ``--edges 10`` both work.  When no
+edge list is given, the builders derive one from the effective testbed
+topology (``TestbedConfig().edge_servers``) rather than assuming the
+paper's two edges.  ``load_schedule`` is the CLI entry point: it accepts
+either a canned scenario name or a path to a JSON file matching
 :meth:`FaultSchedule.to_json`.
 """
 
@@ -15,8 +17,9 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..simnet.topology import TestbedConfig
 from .schedule import (
     FaultSchedule,
     LatencySpike,
@@ -25,10 +28,32 @@ from .schedule import (
     ServerCrash,
 )
 
-__all__ = ["SCENARIOS", "DEFAULT_EDGES", "scenario", "load_schedule"]
+__all__ = [
+    "SCENARIOS",
+    "DEFAULT_EDGES",
+    "default_edges",
+    "scenario",
+    "load_schedule",
+]
 
-# The paper's testbed: two edge servers behind the WAN router.
+# The paper's testbed: two edge servers behind the WAN router.  Kept for
+# callers that want the paper's topology explicitly; the builders now
+# default to the effective topology via :func:`default_edges`.
 DEFAULT_EDGES: Tuple[str, ...] = ("edge1", "edge2")
+
+
+def default_edges(config: Optional[TestbedConfig] = None) -> Tuple[str, ...]:
+    """Edge names of the effective topology (``edge1`` .. ``edgeN``).
+
+    Mirrors the naming loop in :func:`repro.simnet.topology.build_testbed`
+    so canned scenarios compose with ``--edges N`` for any N.
+    """
+    config = config or TestbedConfig()
+    return tuple(f"edge{i + 1}" for i in range(config.edge_servers))
+
+
+def _resolve_edges(edges: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    return default_edges() if edges is None else tuple(edges)
 
 
 def _window(duration_ms: float, warmup_ms: float, lo: float, hi: float):
@@ -45,7 +70,9 @@ def _target(edges: Sequence[str]) -> str:
 
 
 def edge_partition(
-    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Optional[Sequence[str]] = None,
 ) -> FaultSchedule:
     """The paper's nightmare: the WAN link to one edge goes dark mid-run.
 
@@ -54,6 +81,7 @@ def edge_partition(
     pushes — fails for the window; edge-heavy patterns keep serving
     local reads from replicas and caches while staleness accrues.
     """
+    edges = _resolve_edges(edges)
     start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
     return FaultSchedule(
         name="edge-partition",
@@ -62,7 +90,9 @@ def edge_partition(
 
 
 def edge_crash(
-    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Optional[Sequence[str]] = None,
 ) -> FaultSchedule:
     """One edge's app-server process dies and restarts cold.
 
@@ -70,6 +100,7 @@ def edge_crash(
     server over the WAN for the window; after restart the edge serves
     again with empty session stores, replicas and caches.
     """
+    edges = _resolve_edges(edges)
     start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
     return FaultSchedule(
         name="edge-crash", crashes=(ServerCrash(_target(edges), start, end),)
@@ -77,9 +108,12 @@ def edge_crash(
 
 
 def flaky_wan(
-    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Optional[Sequence[str]] = None,
 ) -> FaultSchedule:
     """Lossy, jittery WAN: 2% loss on every edge link plus jitter on one."""
+    edges = _resolve_edges(edges)
     start, end = _window(duration_ms, warmup_ms, 0.25, 0.75)
     target = _target(edges)
     return FaultSchedule(
@@ -95,9 +129,12 @@ def flaky_wan(
 
 
 def latency_spike(
-    duration_ms: float, warmup_ms: float = 0.0, edges: Sequence[str] = DEFAULT_EDGES
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Optional[Sequence[str]] = None,
 ) -> FaultSchedule:
     """A routing flap quadruples one edge's one-way WAN latency for a while."""
+    edges = _resolve_edges(edges)
     start, end = _window(duration_ms, warmup_ms, 0.35, 0.65)
     return FaultSchedule(
         name="latency-spike",
@@ -109,11 +146,54 @@ def latency_spike(
     ).validate()
 
 
+def db_leader_crash(
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Optional[Sequence[str]] = None,
+) -> FaultSchedule:
+    """The data tier's main-seat replicas crash mid-run.
+
+    Under a single-instance policy the ``db`` target simply skips (the
+    paper's database never fails); under a replicated ``data_tier`` the
+    fault injector resolves ``db`` to the cluster's main seat, killing
+    every raft member seated there — the anchor leaders — and forcing
+    re-elections and, on restart, log catch-up.
+    """
+    edges = _resolve_edges(edges)
+    start, end = _window(duration_ms, warmup_ms, 0.30, 0.60)
+    return FaultSchedule(
+        name="db-leader-crash", crashes=(ServerCrash("db", start, end),)
+    ).validate()
+
+
+def db_shard_partition(
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    edges: Optional[Sequence[str]] = None,
+) -> FaultSchedule:
+    """The WAN link to the *last* edge's shard replicas goes dark.
+
+    Complements ``edge-partition`` (which isolates the first edge): the
+    partitioned edge's raft members fall behind the replicated log, and
+    stale-local reads served there accrue measurable staleness until the
+    heal triggers catch-up.
+    """
+    edges = _resolve_edges(edges)
+    _target(edges)  # same "at least one edge" contract as the others
+    start, end = _window(duration_ms, warmup_ms, 0.35, 0.55)
+    return FaultSchedule(
+        name="db-shard-partition",
+        partitions=(LinkPartition("router", edges[-1], start, end),),
+    ).validate()
+
+
 SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
     "edge-partition": edge_partition,
     "edge-crash": edge_crash,
     "flaky-wan": flaky_wan,
     "latency-spike": latency_spike,
+    "db-leader-crash": db_leader_crash,
+    "db-shard-partition": db_shard_partition,
 }
 
 
@@ -121,7 +201,7 @@ def scenario(
     name: str,
     duration_ms: float,
     warmup_ms: float = 0.0,
-    edges: Sequence[str] = DEFAULT_EDGES,
+    edges: Optional[Sequence[str]] = None,
 ) -> FaultSchedule:
     """Build the canned scenario ``name`` for a run of the given length."""
     try:
@@ -138,7 +218,7 @@ def load_schedule(
     spec: str,
     duration_ms: float,
     warmup_ms: float = 0.0,
-    edges: Sequence[str] = DEFAULT_EDGES,
+    edges: Optional[Sequence[str]] = None,
 ) -> FaultSchedule:
     """Resolve a ``--faults`` argument: canned name or JSON file path."""
     looks_like_path = spec.endswith(".json") or os.sep in spec

@@ -99,6 +99,9 @@ class AppServer:
 
         self._rmi_pools: Dict[str, ConnectionPool] = {}
         self._datasource: Optional[DataSource] = None
+        # Sharded/replicated data tier (set by distribute() when the
+        # policy declares one); db access then routes through its router.
+        self.cluster = None
         # Overridable before first use: the original Pet Store web tier
         # opened un-pooled connections per request (JdbcConfig(pooled=False)).
         self.jdbc_config = JdbcConfig()
@@ -306,11 +309,16 @@ class AppServer:
     # -- database access -----------------------------------------------------
     def datasource(self) -> DataSource:
         if self._datasource is None:
-            if self.db_server is None:
+            if self.cluster is not None:
+                self._datasource = self.cluster.datasource_for(
+                    self.node.name, self.jdbc_config
+                )
+            elif self.db_server is None:
                 raise BeanError(f"server {self.name} has no database configured")
-            self._datasource = DataSource(
-                self._network, self.node.name, self.db_server, self.jdbc_config
-            )
+            else:
+                self._datasource = DataSource(
+                    self._network, self.node.name, self.db_server, self.jdbc_config
+                )
         return self._datasource
 
     def db_execute(

@@ -421,4 +421,18 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
                 registry.gauge(f"resilience.staleness_ms.{server_name}").set(
                     staleness[server_name]
                 )
+
+    # Data-tier cluster counters exist only under a data_tier policy, so
+    # single-instance snapshots stay byte-identical with earlier releases.
+    cluster = getattr(system, "cluster", None)
+    if cluster is not None:
+        snapshot = cluster.stats.to_dict()
+        staleness_ms = snapshot.pop("staleness_ms")
+        for name in sorted(snapshot):
+            registry.counter(f"cluster.{name}").inc(snapshot[name])
+        registry.gauge("cluster.staleness_ms").set(staleness_ms)
+        registry.gauge("cluster.shards").set(float(cluster.tier.shard_count))
+        registry.gauge("cluster.replication_factor").set(
+            float(cluster.tier.replication_factor)
+        )
     return registry

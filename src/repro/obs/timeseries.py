@@ -329,6 +329,20 @@ class _Sampler:
         current["replica.hits"] = replica_hits
         current["replica.misses"] = replica_misses
 
+        # Cluster counters appear only under a data_tier policy, so
+        # single-instance series stay byte-identical with earlier runs.
+        cluster = getattr(system, "cluster", None)
+        if cluster is not None:
+            stats = cluster.stats
+            current["cluster.elections_won"] = stats.elections_won
+            current["cluster.leader_failovers"] = stats.leader_failovers
+            current["cluster.quorum_commits"] = stats.quorum_commits
+            current["cluster.cross_shard_txns"] = stats.cross_shard_txns
+            current["cluster.scatter_gather_queries"] = stats.scatter_gather_queries
+            current["cluster.stale_reads_served"] = stats.stale_reads_served
+            current["cluster.staleness_ms"] = stats.staleness_ms
+            current["cluster.catchup_entries"] = stats.catchup_entries
+
         generator = self.generator
         clients = getattr(generator, "clients", None)
         if clients is not None:

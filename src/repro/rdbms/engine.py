@@ -7,6 +7,7 @@ and :mod:`repro.rdbms.jdbc`.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .compiler import EMPTY_ROW, compiled
@@ -38,6 +39,9 @@ class Database:
         self._executor = Executor(self.tables)
         self.statements_executed = 0
         self.rows_scanned_total = 0
+        # Per-instance so a fresh Database starts at id 1: transaction
+        # ids must not leak across cell runs in one worker process.
+        self._transaction_ids = itertools.count(1)
 
     @property
     def executor(self) -> Executor:
@@ -63,7 +67,9 @@ class Database:
 
     # -- transactions -----------------------------------------------------------
     def begin(self, read_only: bool = False) -> Transaction:
-        return Transaction(self.tables, read_only=read_only)
+        return Transaction(
+            self.tables, read_only=read_only, id=next(self._transaction_ids)
+        )
 
     # -- execution -----------------------------------------------------------
     def prepare(self, sql: str) -> Statement:

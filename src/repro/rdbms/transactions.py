@@ -23,6 +23,10 @@ class TransactionError(Exception):
     """Raised on transaction misuse (double commit, commit after abort)."""
 
 
+# Fallback for transactions built directly (tests, ad-hoc engine use).
+# ``Database.begin`` passes an explicit id from its own per-instance
+# counter, so cell runs never draw from this process-lifetime global —
+# that was a cross-run id leak the ``reset_ids()`` contract missed.
 _transaction_ids = itertools.count(1)
 
 
@@ -34,8 +38,13 @@ class Transaction:
     in reverse.
     """
 
-    def __init__(self, tables: Dict[str, Table], read_only: bool = False):
-        self.id = next(_transaction_ids)
+    def __init__(
+        self,
+        tables: Dict[str, Table],
+        read_only: bool = False,
+        id: Optional[int] = None,
+    ):
+        self.id = next(_transaction_ids) if id is None else id
         self.tables = tables
         self.read_only = read_only
         self.undo_log: List[Tuple[str, str, Any]] = []

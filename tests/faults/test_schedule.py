@@ -103,6 +103,8 @@ def test_canned_catalogue_names():
         "edge-crash",
         "flaky-wan",
         "latency-spike",
+        "db-leader-crash",
+        "db-shard-partition",
     }
 
 

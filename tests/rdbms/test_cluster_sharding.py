@@ -1,0 +1,180 @@
+"""Statement routing and scatter-gather merging for the sharded tier.
+
+Pinning is the correctness-critical path: a statement routed to the
+wrong shard silently reads an empty partition, so these tests pin the
+classifier's behaviour for every statement shape the middleware emits.
+"""
+
+import pytest
+
+from repro.rdbms.cluster import (
+    ClusterRoutingError,
+    DataTierPolicy,
+    Partitioner,
+    merge_results,
+    route_statement,
+)
+from repro.rdbms.executor import ResultSet
+
+TIER = DataTierPolicy(
+    shard_count=3,
+    shard_tables=(("bids", "item_id"), ("items", "id")),
+    global_tables=("regions",),
+    replication_factor=1,
+)
+PART = Partitioner(TIER)
+
+
+def _route(sql, params=()):
+    return route_statement(sql, params, TIER, PART)
+
+
+# ---------------------------------------------------------------------------
+# Partitioner
+# ---------------------------------------------------------------------------
+
+
+def test_hash_partitioner_is_stable_and_in_range():
+    # crc32 of the canonical string form: process-independent, so the
+    # same key maps to the same shard in every worker of a --jobs N run.
+    for value in (1, 7, "7", 12345, "abc"):
+        first = PART.shard_of(value)
+        assert first == PART.shard_of(value)
+        assert 0 <= first < TIER.shard_count
+    assert PART.shard_of(7) == PART.shard_of("7")
+
+
+def test_single_shard_partitioner_always_zero():
+    single = Partitioner(DataTierPolicy())
+    assert single.shard_of(99) == 0
+
+
+def test_range_partitioner_uses_ascending_splits():
+    tier = DataTierPolicy(
+        shard_count=3,
+        shard_tables=(("items", "id"),),
+        strategy="range",
+        range_splits=(100, 200),
+    )
+    part = Partitioner(tier)
+    assert part.shard_of(5) == 0
+    assert part.shard_of(150) == 1
+    assert part.shard_of(200) == 1  # splits are upper bounds (bisect_left)
+    assert part.shard_of(999) == 2
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+def test_select_with_shard_key_equality_pins():
+    route = _route("SELECT * FROM items WHERE id = ?", (7,))
+    assert route.kind == "single"
+    assert route.shard == PART.shard_of(7)
+    assert not route.is_write
+
+
+def test_select_on_foreign_shard_key_pins_too():
+    route = _route("SELECT * FROM bids WHERE item_id = ?", (7,))
+    assert route.kind == "single"
+    # bids colocate with their item: same key value, same shard.
+    assert route.shard == PART.shard_of(7)
+
+
+def test_unpinned_select_scatters():
+    route = _route("SELECT * FROM items WHERE quantity > ?", (0,))
+    assert route.kind == "scatter"
+    assert not route.is_write
+
+
+def test_global_table_read_routes_to_shard_zero():
+    route = _route("SELECT * FROM regions WHERE id = ?", (1,))
+    assert route.kind == "single"
+    assert route.shard == 0
+    assert route.sharded_tables == ()
+
+
+def test_global_table_write_broadcasts():
+    route = _route("UPDATE regions SET name = ? WHERE id = ?", ("x", 1))
+    assert route.kind == "broadcast"
+    assert route.is_write
+
+
+def test_unpinned_write_on_sharded_table_broadcasts():
+    route = _route("UPDATE items SET quantity = ? WHERE end_date < ?", (0, 10))
+    assert route.kind == "broadcast"
+    assert route.is_write
+
+
+def test_insert_pins_by_shard_key_value():
+    route = _route(
+        "INSERT INTO items (id, name) VALUES (?, ?)", (42, "thing")
+    )
+    assert route.kind == "single"
+    assert route.shard == PART.shard_of(42)
+    assert route.is_write
+
+
+def test_insert_without_shard_key_is_rejected():
+    with pytest.raises(ClusterRoutingError):
+        _route("INSERT INTO items (name) VALUES (?)", ("thing",))
+
+
+def test_delete_with_shard_key_pins():
+    route = _route("DELETE FROM bids WHERE item_id = ?", (7,))
+    assert route.kind == "single"
+    assert route.shard == PART.shard_of(7)
+
+
+# ---------------------------------------------------------------------------
+# Scatter-gather merging
+# ---------------------------------------------------------------------------
+
+
+def _rs(rows, scanned=1):
+    columns = list(rows[0]) if rows else []
+    return ResultSet(columns=columns, rows=rows, rows_scanned=scanned)
+
+
+def test_merge_concatenates_sorts_and_limits():
+    merged = merge_results(
+        "SELECT id FROM items WHERE quantity > ? ORDER BY id DESC LIMIT 3",
+        [_rs([{"id": 1}, {"id": 5}]), _rs([{"id": 9}]), _rs([{"id": 3}])],
+    )
+    assert [row["id"] for row in merged.rows] == [9, 5, 3]
+    assert merged.rows_scanned == 3
+
+
+def test_merge_count_and_sum_fold_across_shards():
+    merged = merge_results(
+        "SELECT COUNT(*) AS n FROM items",
+        [_rs([{"n": 2}]), _rs([{"n": 0}]), _rs([{"n": 5}])],
+    )
+    assert merged.rows == [{"n": 7}]
+    merged = merge_results(
+        "SELECT MAX(bid) AS top FROM bids",
+        [_rs([{"top": 10}]), _rs([{"top": None}]), _rs([{"top": 40}])],
+    )
+    assert merged.rows == [{"top": 40}]
+
+
+def test_merge_count_of_no_rows_is_zero():
+    merged = merge_results("SELECT COUNT(*) AS n FROM items", [_rs([]), _rs([])])
+    assert merged.rows == [{"n": 0}]
+
+
+def test_cross_shard_group_by_is_rejected():
+    with pytest.raises(ClusterRoutingError):
+        merge_results(
+            "SELECT category, COUNT(*) AS n FROM items GROUP BY category",
+            [_rs([])],
+        )
+
+
+def test_merge_broadcast_write_totals_affected():
+    first = ResultSet(columns=[], rows=[], rows_scanned=4, affected=2)
+    second = ResultSet(columns=[], rows=[], rows_scanned=1, affected=1)
+    merged = merge_results("UPDATE items SET quantity = 0", [first, second])
+    assert merged.affected == 3
+    assert merged.rows_scanned == 5

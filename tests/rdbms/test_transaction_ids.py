@@ -1,0 +1,62 @@
+"""Transaction ids are per-database, not process-global.
+
+The original counter was a module-level ``itertools.count`` that no
+reset path ever touched, so transaction ids depended on how many cells
+had already run in the worker process — harmless for the golden tables
+but a landmine for any artifact that ever prints an id, and a real
+divergence between ``--jobs 1`` and ``--jobs N`` (workers recycle
+processes at different cell boundaries).  Each ``Database`` now owns its
+own counter.
+"""
+
+from repro.rdbms.engine import Database
+from repro.rdbms.schema import Column, TableSchema
+from repro.rdbms.transactions import Transaction
+from repro.rdbms.types import INTEGER
+
+
+def _db(name="txdb"):
+    database = Database(name)
+    database.create_table(
+        TableSchema("t", [Column("id", INTEGER)], primary_key="id")
+    )
+    return database
+
+
+def test_fresh_database_starts_at_one():
+    assert _db().begin().id == 1
+
+
+def test_ids_are_sequential_within_a_database():
+    database = _db()
+    ids = [database.begin(read_only=True).id for _ in range(3)]
+    assert ids == [1, 2, 3]
+
+
+def test_databases_do_not_share_a_counter():
+    first = _db("a")
+    for _ in range(5):
+        first.begin()
+    second = _db("b")
+    assert second.begin().id == 1  # the old global counter would say 6
+
+
+def test_rerunning_the_same_work_yields_the_same_ids():
+    def run_once():
+        database = _db()
+        ids = []
+        for value in range(1, 4):
+            txn = database.begin()
+            ids.append(txn.id)
+            database.execute(
+                "INSERT INTO t (id) VALUES (?)", (value,), transaction=txn
+            )
+            txn.commit()
+        return ids
+
+    assert run_once() == run_once()
+
+
+def test_explicit_id_overrides_the_counter():
+    txn = Transaction({}, id=99)
+    assert txn.id == 99
