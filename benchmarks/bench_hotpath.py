@@ -37,7 +37,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from repro.core.patterns import PatternLevel
+from repro.core.patterns import PAPER_LEVELS, PatternLevel
 from repro.experiments.calibration import default_workload
 from repro.experiments.figures import build_figure, render_figure
 from repro.experiments.parallel import run_cells
@@ -63,7 +63,7 @@ def render_artifacts(results) -> dict:
     """{app: {"table": text, "figure": text}} for one sweep's results."""
     artifacts = {}
     for app in APPS:
-        series = {level: results[(app, level)] for level in PatternLevel}
+        series = {level: results[(app, level)] for level in PAPER_LEVELS}
         artifacts[app] = {
             "table": render_table(build_table(series)),
             "figure": render_figure(build_figure(series)),
@@ -73,7 +73,7 @@ def render_artifacts(results) -> dict:
 
 def run_sweep(duration: float, warmup: float, seed: int, label: str):
     workload = default_workload(duration * 1000.0, warmup * 1000.0)
-    cells = [(app, level) for app in APPS for level in PatternLevel]
+    cells = [(app, level) for app in APPS for level in PAPER_LEVELS]
     print(f"[{label}] serial sweep: {len(cells)} cells x {duration:g}s ...",
           file=sys.stderr)
     started = time.perf_counter()

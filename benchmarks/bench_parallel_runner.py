@@ -26,7 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from repro.core.patterns import PatternLevel
+from repro.core.patterns import PAPER_LEVELS, PatternLevel
 from repro.experiments.calibration import default_workload
 from repro.experiments.parallel import default_jobs, run_cells
 from repro.experiments.progress import ProgressReporter
@@ -53,7 +53,7 @@ def main() -> int:
     args = parser.parse_args()
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     workload = default_workload(args.duration * 1000.0, args.warmup * 1000.0)
-    cells = [(app, level) for app in ("petstore", "rubis") for level in PatternLevel]
+    cells = [(app, level) for app in ("petstore", "rubis") for level in PAPER_LEVELS]
 
     print(f"[1/2] serial sweep: {len(cells)} cells ...", file=sys.stderr)
     started = time.perf_counter()
@@ -73,8 +73,8 @@ def main() -> int:
 
     identical = True
     for app in ("petstore", "rubis"):
-        serial_series = {lvl: serial[(app, lvl)] for lvl in PatternLevel}
-        parallel_series = {lvl: parallel[(app, lvl)] for lvl in PatternLevel}
+        serial_series = {lvl: serial[(app, lvl)] for lvl in PAPER_LEVELS}
+        parallel_series = {lvl: parallel[(app, lvl)] for lvl in PAPER_LEVELS}
         if render_table(build_table(serial_series)) != render_table(
             build_table(parallel_series)
         ):

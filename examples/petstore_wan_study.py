@@ -12,7 +12,7 @@ Run:  python examples/petstore_wan_study.py [--duration SECONDS] [--jobs N]
 
 import argparse
 
-from repro.core.patterns import PATTERN_CATALOG, PatternLevel
+from repro.core.patterns import PAPER_LEVELS, PATTERN_CATALOG, PatternLevel
 from repro.experiments import build_figure, build_table, render_figure, render_table
 from repro.experiments.calibration import default_workload
 from repro.experiments.progress import ProgressReporter
@@ -42,16 +42,16 @@ def main() -> None:
 
     if args.jobs == 1:
         results = {}
-        for level in PatternLevel:
+        for level in PAPER_LEVELS:
             announce(level)
             results[level] = run_configuration("petstore", level, workload=workload)
             describe(results[level])
     else:
-        progress = ProgressReporter(len(PatternLevel), label="configurations")
+        progress = ProgressReporter(len(PAPER_LEVELS), label="configurations")
         results = run_series(
             "petstore", workload=workload, jobs=args.jobs, progress=progress
         )
-        for level in PatternLevel:
+        for level in PAPER_LEVELS:
             announce(level)
             describe(results[level])
 

@@ -60,13 +60,14 @@ def _entity(name, impl, table, read_mostly=False):
     )
 
 
-def _stateless(name, impl, edge_from_level=None):
+def _stateless(name, impl, edge_from_level=None, cached_methods=()):
     return ComponentDescriptor(
         name=name,
         kind=ComponentKind.STATELESS_SESSION,
         impl=impl,
         remote_interface=True,
         edge_from_level=edge_from_level,
+        cached_methods=tuple(cached_methods),
     )
 
 
@@ -113,7 +114,21 @@ def build_application(level: PatternLevel, catalog=None) -> ApplicationDescripto
     app.add(_entity("LineItem", entities.LineItemBean, "lineitem"))
 
     # -- session tier -----------------------------------------------------------
-    app.add(_stateless("Catalog", facades.CatalogBean, edge_from_level=3))
+    # Level-6 method caching covers the read-only catalog pages; keyword
+    # ``search`` stays uncached (unbounded key space, low repeat rate).
+    app.add(
+        _stateless(
+            "Catalog",
+            facades.CatalogBean,
+            edge_from_level=3,
+            cached_methods=(
+                "get_category_page",
+                "get_item_details",
+                "get_item_page",
+                "get_product_page",
+            ),
+        )
+    )
     app.add(_stateless("SignOnFacade", facades.SignOnFacadeBean))
     app.add(_stateless("CustomerFacade", facades.CustomerFacadeBean))
     app.add(_stateless("OrderFacade", facades.OrderFacadeBean))

@@ -74,13 +74,14 @@ def _entity(name, impl, table, read_mostly=False):
     )
 
 
-def _facade(name, impl, edge_from_level=None):
+def _facade(name, impl, edge_from_level=None, cached_methods=()):
     return ComponentDescriptor(
         name=name,
         kind=ComponentKind.STATELESS_SESSION,
         impl=impl,
         remote_interface=True,
         edge_from_level=edge_from_level,
+        cached_methods=tuple(cached_methods),
     )
 
 
@@ -119,13 +120,30 @@ def build_application(level: PatternLevel, catalog=None) -> ApplicationDescripto
     app.add(_entity("Comment", entities.CommentBean, "comments"))
 
     # -- session façades ---------------------------------------------------------
-    app.add(_facade("SB_BrowseCategories", facades.BrowseCategoriesBean, edge_from_level=4))
-    app.add(_facade("SB_BrowseRegions", facades.BrowseRegionsBean, edge_from_level=4))
+    # ``cached_methods`` marks read-only business methods eligible for
+    # level-6 transactional method caching; the write facades carry none.
+    app.add(
+        _facade(
+            "SB_BrowseCategories",
+            facades.BrowseCategoriesBean,
+            edge_from_level=4,
+            cached_methods=("get_all", "get_for_region"),
+        )
+    )
+    app.add(
+        _facade(
+            "SB_BrowseRegions",
+            facades.BrowseRegionsBean,
+            edge_from_level=4,
+            cached_methods=("get_all",),
+        )
+    )
     app.add(
         _facade(
             "SB_SearchItemsInCategory",
             facades.SearchItemsInCategoryBean,
             edge_from_level=4,
+            cached_methods=("get",),
         )
     )
     app.add(
@@ -133,11 +151,33 @@ def build_application(level: PatternLevel, catalog=None) -> ApplicationDescripto
             "SB_SearchItemsInCategoryRegion",
             facades.SearchItemsInCategoryRegionBean,
             edge_from_level=4,
+            cached_methods=("get",),
         )
     )
-    app.add(_facade("SB_ViewItem", facades.ViewItemBean, edge_from_level=3))
-    app.add(_facade("SB_ViewBidHistory", facades.ViewBidHistoryBean, edge_from_level=3))
-    app.add(_facade("SB_ViewUserInfo", facades.ViewUserInfoBean, edge_from_level=3))
+    app.add(
+        _facade(
+            "SB_ViewItem",
+            facades.ViewItemBean,
+            edge_from_level=3,
+            cached_methods=("get",),
+        )
+    )
+    app.add(
+        _facade(
+            "SB_ViewBidHistory",
+            facades.ViewBidHistoryBean,
+            edge_from_level=3,
+            cached_methods=("get",),
+        )
+    )
+    app.add(
+        _facade(
+            "SB_ViewUserInfo",
+            facades.ViewUserInfoBean,
+            edge_from_level=3,
+            cached_methods=("get",),
+        )
+    )
     app.add(_facade("SB_PutBid", facades.PutBidBean, edge_from_level=4))
     app.add(_facade("SB_PutComment", facades.PutCommentBean, edge_from_level=4))
     app.add(_facade("SB_StoreBid", facades.StoreBidBean))

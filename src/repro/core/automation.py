@@ -53,6 +53,7 @@ class AutomationReport:
         self.read_mostly_stripped: list = []
         self.query_caches_active: list = []
         self.query_caches_stripped: list = []
+        self.method_caches_active: list = []
         self.auxiliaries_added: list = []
         self.mode: UpdateMode = UpdateMode.SYNC
 
@@ -98,9 +99,21 @@ def apply_policy(
             report.query_caches_active.append(query_id)
         application.query_caches = adjusted
 
+    # -- transactional method caches (level 6) ---------------------------------
+    for name, component_policy in policy.components.items():
+        if not component_policy.method_cache:
+            continue
+        descriptor = application.components.get(name)
+        if descriptor is not None and descriptor.cached_methods:
+            report.method_caches_active.append(name)
+
     # -- auxiliary system components ------------------------------------------
-    needs_maintenance = bool(report.read_mostly_active) or bool(
-        report.query_caches_active
+    # Method caches ride the same maintenance bus as replicas and query
+    # caches, so they too need the updater façade at their servers.
+    needs_maintenance = (
+        bool(report.read_mostly_active)
+        or bool(report.query_caches_active)
+        or bool(report.method_caches_active)
     )
     if needs_maintenance and UPDATER_FACADE not in application.components:
         application.add(updater_facade_descriptor())

@@ -257,11 +257,29 @@ def distribute(
         if server_name not in replica_servers:
             replica_servers.append(server_name)
 
+    # 8b. Transactional method caches (level 6): one cache per server,
+    # fed by the same invalidation bus as replicas and query caches.
+    method_cache_servers: List[str] = []
+    for name in sorted(plan.method_caches):
+        descriptor = application.components[name]
+        for server_name in plan.method_caches[name]:
+            cache = servers[server_name].enable_method_cache(mode=policy.update_mode)
+            cache.register(descriptor.name, descriptor.cached_methods)
+            if server_name not in method_cache_servers:
+                method_cache_servers.append(server_name)
+            if server_name not in replica_servers:
+                replica_servers.append(server_name)
+
     # 9. Update propagation from the main server to every replica host.
     if replica_servers:
         propagator = UpdatePropagator(
             main, targets=[servers[name] for name in replica_servers]
         )
+        if method_cache_servers:
+            # Method caches invalidate by table footprint, so every
+            # commit's write set must ride the bus from now on.
+            propagator.tracks_table_writes = True
+            propagator.table_update_mode = policy.update_mode
         main.update_propagator = propagator
 
     # 10. Subscribe message-driven beans to their topics.

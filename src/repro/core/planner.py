@@ -52,6 +52,9 @@ class DeploymentPlan:
     placements: Dict[str, List[str]] = field(default_factory=dict)
     replicas: Dict[str, List[str]] = field(default_factory=dict)
     query_cache_servers: List[str] = field(default_factory=list)
+    # Level 6: component -> servers whose containers cache its annotated
+    # methods transaction-consistently.
+    method_caches: Dict[str, List[str]] = field(default_factory=dict)
     # Servers hosting the complete web tier; clients elsewhere use main.
     entry_servers: List[str] = field(default_factory=list)
     # The policy this plan realizes (None only for hand-built plans).
@@ -90,6 +93,10 @@ class DeploymentPlan:
             )
         if self.query_cache_servers:
             lines.append(f"  query caches on: {', '.join(self.query_cache_servers)}")
+        for name in sorted(self.method_caches):
+            lines.append(
+                f"  method cache for {name} on: {', '.join(self.method_caches[name])}"
+            )
         return "\n".join(lines)
 
 
@@ -145,6 +152,18 @@ def plan_deployment(
                     plan.replicas[name] = resolve_selectors(
                         component_policy.replicas, main, edges
                     )
+            if component_policy.method_cache and descriptor.cached_methods:
+                # A method cache only makes sense where the façade itself
+                # is deployed; restrict the resolved selectors to that.
+                cache_servers = [
+                    server
+                    for server in resolve_selectors(
+                        component_policy.method_cache, main, edges
+                    )
+                    if server in placement
+                ]
+                if cache_servers:
+                    plan.method_caches[name] = cache_servers
             plan.placements[name] = placement
         except PolicyError as exc:
             raise PlanError(f"component {name!r}: {exc}") from None

@@ -81,27 +81,37 @@ def resolve_selectors(
 
 @dataclass(frozen=True)
 class ComponentPolicy:
-    """Placement of one component: deployment and replica server sets."""
+    """Placement of one component: deployment, replica and method-cache
+    server sets.
+
+    ``method_cache`` selects the servers whose containers intercept this
+    component's annotated cacheable methods with a transactional method
+    cache (level 6); empty means no method caching for this component.
+    """
 
     deploy: Tuple[str, ...] = ("main",)
     replicas: Tuple[str, ...] = ()
+    method_cache: Tuple[str, ...] = ()
 
     def to_json(self) -> dict:
         payload: dict = {"deploy": list(self.deploy)}
         if self.replicas:
             payload["replicas"] = list(self.replicas)
+        if self.method_cache:
+            payload["method_cache"] = list(self.method_cache)
         return payload
 
     @classmethod
     def from_json(cls, payload: dict) -> "ComponentPolicy":
         if not isinstance(payload, dict):
             raise PolicyError(f"component policy must be an object, got {payload!r}")
-        unknown = set(payload) - {"deploy", "replicas"}
+        unknown = set(payload) - {"deploy", "replicas", "method_cache"}
         if unknown:
             raise PolicyError(f"unknown component policy keys: {sorted(unknown)}")
         return cls(
             deploy=tuple(payload.get("deploy", ("main",))),
             replicas=tuple(payload.get("replicas", ())),
+            method_cache=tuple(payload.get("method_cache", ())),
         )
 
 
@@ -134,6 +144,10 @@ class PlacementPolicy:
         return bool(self.query_caches)
 
     @property
+    def has_method_caches(self) -> bool:
+        return any(cp.method_cache for cp in self.components.values())
+
+    @property
     def async_updates(self) -> bool:
         return self.update_mode == UpdateMode.ASYNC
 
@@ -152,11 +166,25 @@ class PlacementPolicy:
                     seen.append(selector)
         return tuple(seen)
 
+    def method_cache_selectors(self) -> Tuple[str, ...]:
+        """Union of every component's method-cache selectors (stable order)."""
+        seen: List[str] = []
+        for name in self.components:
+            for selector in self.components[name].method_cache:
+                if selector not in seen:
+                    seen.append(selector)
+        return tuple(seen)
+
     def maintenance_selectors(self) -> Tuple[str, ...]:
         """Servers that need the replica-maintenance machinery: main plus
-        everywhere replicas or query caches live."""
+        everywhere replicas, query caches or method caches live."""
         seen: List[str] = ["main"]
-        for selector in self.replica_selectors() + self.query_caches:
+        selectors = (
+            self.replica_selectors()
+            + self.query_caches
+            + self.method_cache_selectors()
+        )
+        for selector in selectors:
             if selector not in seen:
                 seen.append(selector)
         return tuple(seen)
@@ -204,7 +232,7 @@ class PlacementPolicy:
             try:
                 level = int(PatternLevel(int(level)))
             except ValueError:
-                raise PolicyError(f"level must be 1..5, got {level!r}") from None
+                raise PolicyError(f"level must be 1..6, got {level!r}") from None
         components_raw = payload.get("components", {})
         if not isinstance(components_raw, dict):
             raise PolicyError("components must be an object keyed by component name")
@@ -255,6 +283,18 @@ class PlacementPolicy:
                     f"component {name!r} is not an entity bean; only "
                     f"entities have read-only replicas"
                 )
+            if cp.method_cache:
+                if descriptor.kind != ComponentKind.STATELESS_SESSION:
+                    errors.append(
+                        f"component {name!r} has method-cache placements but "
+                        f"is not a stateless session bean; only façade "
+                        f"methods are cacheable"
+                    )
+                elif not descriptor.cached_methods:
+                    errors.append(
+                        f"component {name!r} has method-cache placements but "
+                        f"its descriptor annotates no cacheable methods"
+                    )
             if descriptor.kind == ComponentKind.SERVLET and "main" not in cp.deploy \
                     and "all" not in cp.deploy:
                 errors.append(
@@ -305,7 +345,14 @@ def level_policy(
             threshold = descriptor.edge_from_level
             if threshold is not None and level >= threshold:
                 deploy = ("all",)
-            components[name] = ComponentPolicy(deploy=deploy)
+            method_cache = (
+                ("edges",)
+                if level >= PatternLevel.METHOD_CACHING
+                and descriptor.cached_methods
+                and deploy == ("all",)
+                else ()
+            )
+            components[name] = ComponentPolicy(deploy=deploy, method_cache=method_cache)
         elif descriptor.kind == ComponentKind.ENTITY:
             replicas = (
                 ("all",)

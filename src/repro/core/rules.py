@@ -27,6 +27,12 @@ run, producing a structured report:
   database seats, sharded/global tables that actually exist), and at
   runtime every replica group must end the run with a live leader and
   zero failed log applications.
+* **R7 — cacheable methods must not write**: a method annotated for
+  transactional method caching (level 6) must have an empty *learned*
+  write set — a cached writer's side effects would be silently skipped
+  on hits.  Statically, every annotated method must exist on the bean
+  class; at runtime, the method caches report any method observed
+  writing a table through the JDBC layer.
 
 Which rules apply is derived from the *deployment itself* — does the
 plan distribute the web tier beyond the main server, does it place
@@ -127,6 +133,8 @@ class DesignRuleChecker:
             self._check_r5(report)
         if getattr(self.system, "cluster", None) is not None:
             self._check_r6(report)
+        if plan.method_caches:
+            self._check_r7(report)
         return report
 
     # -- R1 -----------------------------------------------------------------
@@ -299,6 +307,30 @@ class DesignRuleChecker:
                 )
             )
 
+    # -- R7 -----------------------------------------------------------------
+    def _check_r7(self, report: RuleReport) -> None:
+        report.checked_rules.append("R7")
+        hits = misses = stale = 0
+        for server in self.system.servers.values():
+            cache = server.method_cache
+            if cache is None:
+                continue
+            hits += cache.stats.hits
+            misses += cache.stats.misses
+            stale += cache.stats.stale_serves
+            for (component, method), tables in sorted(cache.write_violations.items()):
+                report.violations.append(
+                    RuleViolation(
+                        "R7",
+                        f"{component}.{method}@{server.name}",
+                        f"cacheable method wrote table(s) {', '.join(tables)}; "
+                        "its results cannot be cached safely",
+                    )
+                )
+        report.metrics["method_cache_hits"] = float(hits)
+        report.metrics["method_cache_misses"] = float(misses)
+        report.metrics["method_cache_stale_serves"] = float(stale)
+
     # -- R5 -----------------------------------------------------------------
     def _check_r5(self, report: RuleReport) -> None:
         report.checked_rules.append("R5")
@@ -369,8 +401,10 @@ def precheck(
     present on every entry server), and — when ``policy`` declares a
     ``data_tier`` block — the static half of R6 (replica quorums
     achievable with this topology's database seats, shard keys against
-    known entity tables).  The trace-driven rules (R2, R4, R5, runtime
-    R6) need a run and stay with :class:`DesignRuleChecker`.
+    known entity tables), and — when the plan places method caches —
+    the static half of R7 (annotated methods exist on the bean class).
+    The trace-driven rules (R2, R4, R5, runtime R6, runtime R7) need a
+    run and stay with :class:`DesignRuleChecker`.
     """
     report = RuleReport(level=plan.level)
     report.checked_rules.append("R1")
@@ -381,7 +415,33 @@ def precheck(
     if policy is not None and policy.data_tier is not None:
         report.checked_rules.append("R6")
         _static_r6(report, application, plan, policy.data_tier)
+    if plan.method_caches:
+        report.checked_rules.append("R7")
+        _static_r7(report, application, plan)
     return report
+
+
+def _static_r7(report: RuleReport, application, plan) -> None:
+    """Every annotated cacheable method must exist on the bean class.
+
+    The *write-set* half of R7 is learned at runtime (footprints are
+    derived from executed statements, never declared), so the static
+    pass can only catch annotations that reference nothing at all.
+    """
+    for name in sorted(plan.method_caches):
+        descriptor = application.components.get(name)
+        if descriptor is None:
+            continue
+        for method in descriptor.cached_methods:
+            if not callable(getattr(descriptor.impl, method, None)):
+                report.violations.append(
+                    RuleViolation(
+                        "R7",
+                        f"{name}.{method}",
+                        f"annotated cacheable method does not exist on "
+                        f"{descriptor.impl.__name__}",
+                    )
+                )
 
 
 def _static_r6(report: RuleReport, application, plan, tier) -> None:

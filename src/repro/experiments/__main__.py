@@ -59,7 +59,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..core.patterns import PatternLevel
+from ..core.patterns import PAPER_LEVELS, PatternLevel
 from ..core.policy import PolicyError, load_policy
 from ..faults.report import (
     availability_to_json,
@@ -188,7 +188,7 @@ def _run_plan(args, policy, topology) -> int:
         levels = [policy.effective_level()]
     else:
         levels = (
-            [PatternLevel(args.level)] if args.level else list(PatternLevel)
+            [PatternLevel(args.level)] if args.level else list(PAPER_LEVELS)
         )
     exit_code = 0
     for app in apps:
@@ -443,8 +443,8 @@ def main(argv=None) -> int:
         type=int,
         choices=tuple(int(level) for level in PatternLevel),
         default=None,
-        help="(plan target) pattern level to plan (default: all five, "
-        "or the --policy file when given)",
+        help="run a single pattern level instead of the default 1-5 "
+        "sweep (the only way to sweep level 6 without a --policy file)",
     )
     args = parser.parse_args(argv)
 
@@ -611,7 +611,12 @@ def main(argv=None) -> int:
         )
         print(f"[faults] scenario '{faults.name}' active", file=sys.stderr)
 
-    levels = [policy.effective_level()] if policy is not None else list(PatternLevel)
+    if policy is not None:
+        levels = [policy.effective_level()]
+    elif args.level:
+        levels = [PatternLevel(args.level)]
+    else:
+        levels = list(PAPER_LEVELS)
     cells = [(app, level) for app in apps_needed for level in levels]
     print(
         f"[sweep] {len(cells)} cells x {args.duration:.0f}s simulated, "

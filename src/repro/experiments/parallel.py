@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core.patterns import PatternLevel
+from ..core.patterns import PAPER_LEVELS, PatternLevel
 from ..core.policy import PlacementPolicy
 from ..faults.schedule import FaultSchedule
 from ..simnet.monitor import ResponseTimeMonitor, TraceSummary
@@ -266,7 +266,7 @@ def run_series_parallel(
     if policy is not None:
         levels = [policy.effective_level()]
     else:
-        levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
+        levels = [PatternLevel(level) for level in (levels or PAPER_LEVELS)]
     results = run_cells(
         [(app, level) for level in levels],
         workload=workload,

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..apps import petstore, rubis
 from ..core.distribution import DeployedSystem, distribute
-from ..core.patterns import PatternLevel
+from ..core.patterns import PAPER_LEVELS, PatternLevel
 from ..core.policy import PlacementPolicy
 from ..faults.injector import FaultInjector
 from ..faults.report import collect_resilience
@@ -390,7 +390,7 @@ def run_series(
     if policy is not None:
         levels = [policy.effective_level()]
     else:
-        levels = [PatternLevel(level) for level in (levels or list(PatternLevel))]
+        levels = [PatternLevel(level) for level in (levels or PAPER_LEVELS)]
     if jobs is not None and jobs != 1:
         if profile:
             from .profile import warn_forced_serial

@@ -60,6 +60,20 @@ def collect_resilience(system, generator=None) -> dict:
         # Only present for data-tier policies, so every artifact of a
         # single-instance run stays byte-identical to pre-cluster output.
         data["cluster"] = cluster.stats.to_dict()
+    method_cache: dict = {}
+    for server_name in sorted(getattr(system, "servers", {})):
+        cache = getattr(system.servers[server_name], "method_cache", None)
+        if cache is None:
+            continue
+        stats = cache.stats.as_dict()
+        for key, value in stats.items():
+            if key == "staleness_max_ms":
+                method_cache[key] = max(method_cache.get(key, 0.0), value)
+            else:
+                method_cache[key] = method_cache.get(key, 0) + value
+    if method_cache:
+        # Only present under level 6, same byte-identity discipline.
+        data["method_cache"] = method_cache
     return data
 
 
@@ -141,6 +155,17 @@ def render_availability_table(table: AvailabilityTable) -> str:
                 f"xshard_txns={cluster.get('cross_shard_txns', 0)} "
                 f"stale_reads={cluster.get('stale_reads_served', 0)} "
                 f"staleness={cluster.get('staleness_ms', 0.0) / 1000.0:.3f}s"
+            )
+        method_cache = row.get("method_cache")
+        if method_cache:
+            lines.append(
+                "  method cache: "
+                f"hits={method_cache.get('hits', 0)} "
+                f"stale_serves={method_cache.get('stale_serves', 0)} "
+                f"drops={method_cache.get('drops', 0)} "
+                f"missed={method_cache.get('missed_payloads', 0)} "
+                f"staleness={method_cache.get('staleness_total_ms', 0.0) / 1000.0:.3f}s "
+                f"(max {method_cache.get('staleness_max_ms', 0.0) / 1000.0:.3f}s)"
             )
     return "\n".join(lines)
 

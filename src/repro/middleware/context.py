@@ -105,6 +105,10 @@ class TransactionContext:
         self._connections: List[Any] = []  # JdbcConnection, committed in order
         self.update_events: List[UpdateEvent] = []
         self.query_invalidations: List[tuple] = []  # (query_id, params-or-None)
+        # Tables written by this transaction (first-write order).  The
+        # consistency bus turns these into method-cache invalidations;
+        # collection is free when no method caches are deployed.
+        self.written_tables: List[str] = []
         # Scratch space for containers (per-tx entity instance caches,
         # enlisted JDBC connections by datasource, ...), keyed by owner.
         self.resources: Dict[Any, Any] = {}
@@ -132,6 +136,10 @@ class TransactionContext:
     def add_query_invalidation(self, query_id: str, params: Optional[tuple]) -> None:
         self.query_invalidations.append((query_id, params))
 
+    def record_table_write(self, table: str) -> None:
+        if table and table not in self.written_tables:
+            self.written_tables.append(table)
+
     # -- completion -----------------------------------------------------------
     def commit(self, ctx: "InvocationContext") -> Generator[Event, Any, None]:
         if self.state != "active":
@@ -150,10 +158,17 @@ class TransactionContext:
         #    Propagation runs outside this (now completed) transaction —
         #    its refresh queries auto-commit on fresh connections.
         propagator = ctx.server.update_propagator if ctx.server else None
-        if propagator is not None and (self.update_events or self.query_invalidations):
+        if propagator is not None and (
+            self.update_events
+            or self.query_invalidations
+            or (propagator.tracks_table_writes and self.written_tables)
+        ):
             post_commit_ctx = ctx.in_transaction(None)
             yield from propagator.propagate(
-                post_commit_ctx, self.update_events, self.query_invalidations
+                post_commit_ctx,
+                self.update_events,
+                self.query_invalidations,
+                written_tables=self.written_tables,
             )
 
     def rollback(self, ctx: "InvocationContext") -> Generator[Event, Any, None]:
@@ -167,6 +182,7 @@ class TransactionContext:
             connection.close()
         self.update_events.clear()
         self.query_invalidations.clear()
+        self.written_tables.clear()
         self.state = "aborted"
 
 
@@ -184,6 +200,7 @@ class InvocationContext:
         depth: int = 0,
         spans: Optional["SpanRecorder"] = None,
         span_id: Optional[int] = None,
+        footprint: Optional[Any] = None,
     ):
         self.env = env
         self.server = server
@@ -194,6 +211,10 @@ class InvocationContext:
         self.depth = depth
         self.spans = spans
         self.span_id = span_id
+        # Active table-footprint collector (see repro.middleware.consistency).
+        # Travels across servers with the call — a delegated sub-call's
+        # reads still belong to the caller's method footprint.
+        self.footprint = footprint
 
     # -- derived contexts -----------------------------------------------------
     def at_server(self, server: "AppServer") -> "InvocationContext":
@@ -214,6 +235,7 @@ class InvocationContext:
             depth=self.depth + 1,
             spans=self.spans,
             span_id=self.span_id,
+            footprint=self.footprint,
         )
 
     def in_transaction(self, transaction: TransactionContext) -> "InvocationContext":
@@ -227,6 +249,23 @@ class InvocationContext:
             depth=self.depth,
             spans=self.spans,
             span_id=self.span_id,
+            footprint=self.footprint,
+        )
+
+    def with_footprint(self, footprint: Any) -> "InvocationContext":
+        """The context seen by work whose table accesses ``footprint``
+        collects (the method-cache miss path)."""
+        return InvocationContext(
+            env=self.env,
+            server=self.server,
+            request=self.request,
+            costs=self.costs,
+            trace=self.trace,
+            transaction=self.transaction,
+            depth=self.depth,
+            spans=self.spans,
+            span_id=self.span_id,
+            footprint=footprint,
         )
 
     def in_span(self, span: Optional["Span"]) -> "InvocationContext":
@@ -248,6 +287,7 @@ class InvocationContext:
             depth=self.depth,
             spans=self.spans,
             span_id=span.id,
+            footprint=self.footprint,
         )
 
     # -- effects -----------------------------------------------------------

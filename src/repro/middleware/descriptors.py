@@ -124,6 +124,11 @@ class ComponentDescriptor:
     # -- placement hint: pattern level at which this component is also
     #    deployed on edge servers (None = kind-based default) ---------------
     edge_from_level: Optional[int] = None
+    # -- extended descriptor: business methods whose results edge
+    #    containers may cache transaction-consistently (level 6).  Read/
+    #    write table footprints are *not* declared here — they are derived
+    #    automatically from the JDBC statements the method executes.
+    cached_methods: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.kind == ComponentKind.ENTITY and self.table is None:
@@ -134,6 +139,10 @@ class ComponentDescriptor:
             raise DescriptorError(f"message-driven bean {self.name!r} needs a topic")
         if self.read_mostly is not None and self.kind != ComponentKind.ENTITY:
             raise DescriptorError(f"read-mostly descriptor on non-entity {self.name!r}")
+        if self.cached_methods and self.kind != ComponentKind.STATELESS_SESSION:
+            raise DescriptorError(
+                f"cached-methods annotation on non-stateless-session {self.name!r}"
+            )
         if not self.remote_interface and not self.local_interface:
             raise DescriptorError(f"component {self.name!r} has no interface at all")
 

@@ -16,13 +16,21 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from ..rdbms.lru import LruCache
+from ..rdbms.sql import parse_cached, statement_footprint
 from ..simnet.kernel import Event
 from .context import InvocationContext
 from .descriptors import QueryCacheDescriptor
 
-__all__ = ["QueryCacheManager", "QueryCacheStats"]
+__all__ = ["QueryCacheManager", "QueryCacheStats", "QUERY_CACHE_CAPACITY"]
 
 UPDATER_FACADE = "UpdaterFacade"
+
+# Default bound on cached parameter tuples per query.  Generous: the
+# paper-sweep working sets (categories × regions) stay well under it,
+# so the bound only bites for adversarial/unbounded parameter spaces —
+# the unbounded-growth hazard this cap exists to close.
+QUERY_CACHE_CAPACITY = 4096
 
 
 class QueryCacheStats:
@@ -33,32 +41,43 @@ class QueryCacheStats:
         self.misses = 0
         self.invalidations = 0
         self.push_refreshes = 0
+        self.evictions = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "push_refreshes": self.push_refreshes,
         }
+        # Emitted only when the capacity bound actually bit, so metric
+        # artifacts from runs that never evict stay byte-identical.
+        if self.evictions:
+            stats["evictions"] = self.evictions
+        return stats
 
 
 class QueryCacheManager:
     """Per-server cache of parameterized aggregate query results."""
 
-    def __init__(self, server: Any):
+    def __init__(self, server: Any, capacity: int = QUERY_CACHE_CAPACITY):
         self.server = server
+        self.capacity = capacity
         self._descriptors: Dict[str, QueryCacheDescriptor] = {}
-        # query_id -> {params: rows}
-        self._entries: Dict[str, Dict[Tuple, List[dict]]] = {}
+        # query_id -> bounded LRU of {params: rows}
+        self._entries: Dict[str, LruCache] = {}
         self._stale: Dict[str, set] = {}
+        # query_id -> tables its SQL reads (for footprint derivation).
+        self._tables: Dict[str, Tuple[str, ...]] = {}
         self.stats: Dict[str, QueryCacheStats] = {}
 
     # -- registration -----------------------------------------------------------
     def register(self, descriptor: QueryCacheDescriptor) -> None:
         self._descriptors[descriptor.query_id] = descriptor
-        self._entries.setdefault(descriptor.query_id, {})
+        self._entries.setdefault(descriptor.query_id, LruCache(self.capacity))
         self._stale.setdefault(descriptor.query_id, set())
+        reads, _ = statement_footprint(parse_cached(descriptor.sql))
+        self._tables[descriptor.query_id] = reads
         self.stats.setdefault(descriptor.query_id, QueryCacheStats())
 
     def handles(self, query_id: str) -> bool:
@@ -77,19 +96,32 @@ class QueryCacheManager:
         """Cached rows for (query, params); pulls from central on miss."""
         if query_id not in self._descriptors:
             raise KeyError(f"query {query_id!r} is not registered on {self.server.name}")
+        if ctx.footprint is not None:
+            # A cache hit never reaches the JDBC layer, so the query's
+            # read tables are reported here — derived from its SQL, not
+            # hand-declared.
+            ctx.footprint.add(self._tables[query_id], ())
         stats = self.stats[query_id]
         entries = self._entries[query_id]
         params = tuple(params)
-        if params in entries and params not in self._stale[query_id]:
-            stats.hits += 1
-            yield from ctx.cpu(0.02)  # local cache lookup
-            return [dict(row) for row in entries[params]]
+        if params not in self._stale[query_id]:
+            rows = entries.get(params)
+            if rows is not None:
+                stats.hits += 1
+                yield from ctx.cpu(0.02)  # local cache lookup
+                return [dict(row) for row in rows]
         stats.misses += 1
         facade = yield from ctx.lookup(UPDATER_FACADE + "@central")
         rows = yield from facade.call(ctx, "fetch_query", query_id, params)
-        entries[params] = [dict(row) for row in rows]
-        self._stale[query_id].discard(params)
+        self._install(query_id, params, [dict(row) for row in rows])
         return [dict(row) for row in rows]
+
+    def _install(self, query_id: str, params: Tuple, rows: List[dict]) -> None:
+        evicted = self._entries[query_id].put(params, rows)
+        self._stale[query_id].discard(params)
+        if evicted is not None:
+            self.stats[query_id].evictions += 1
+            self._stale[query_id].discard(evicted[0])
 
     # -- maintenance (update propagation) ---------------------------------------
     def drop_all(self) -> None:
@@ -117,18 +149,23 @@ class QueryCacheManager:
         """Push path: install fresh rows computed at the main server."""
         if query_id not in self._descriptors:
             return
-        params = tuple(params)
-        self._entries[query_id][params] = [dict(row) for row in rows]
-        self._stale[query_id].discard(params)
+        self._install(query_id, tuple(params), [dict(row) for row in rows])
         self.stats[query_id].push_refreshes += 1
 
     def cached_params(self, query_id: str) -> List[Tuple]:
         """Parameter tuples currently cached for ``query_id``."""
-        return list(self._entries.get(query_id, {}))
+        cache = self._entries.get(query_id)
+        return [] if cache is None else list(cache.keys())
 
     def is_fresh(self, query_id: str, params: Tuple) -> bool:
         params = tuple(params)
+        cache = self._entries.get(query_id)
         return (
-            params in self._entries.get(query_id, {})
+            cache is not None
+            and params in cache
             and params not in self._stale.get(query_id, set())
         )
+
+    def tables_of(self, query_id: str) -> Tuple[str, ...]:
+        """Tables the query's SQL reads (auto-derived at registration)."""
+        return self._tables.get(query_id, ())

@@ -139,6 +139,10 @@ class ReadOnlyEntityContainer(BaseContainer):
     ) -> Generator[Event, Any, Any]:
         self.invocations += 1
         yield from ctx.cpu(ctx.costs.bean_method_base)
+        if ctx.footprint is not None:
+            # Replica reads never reach the JDBC layer; the mapped table
+            # is this container's whole read footprint.
+            ctx.footprint.add((self.descriptor.table,), ())
 
         if identity is None:
             if method == "find_by_primary_key":

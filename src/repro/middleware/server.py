@@ -22,15 +22,22 @@ from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 from ..faults.stats import ResilienceStats
 from ..rdbms.jdbc import DataSource, JdbcConfig
 from ..rdbms.server import DatabaseServer, result_wire_size
+from ..rdbms.sql import parse_cached, statement_footprint
 from ..simnet.kernel import Environment, Event
 from ..simnet.monitor import Trace
 from ..simnet.transport import ConnectionPool
+from .consistency import (
+    EdgeConsistencyManager,
+    METHOD_CACHE_CAPACITY,
+    TransactionalMethodCache,
+)
 from .context import InvocationContext
 from .costs import MiddlewareCosts
 from .descriptors import (
     ApplicationDescriptor,
     ComponentDescriptor,
     ComponentKind,
+    UpdateMode,
 )
 from .ejb import BeanError
 from .entity import EntityContainer
@@ -82,6 +89,10 @@ class AppServer:
         self.containers: Dict[str, Any] = {}
         self._readonly: Dict[str, ReadOnlyEntityContainer] = {}
         self.query_cache: Optional[QueryCacheManager] = None
+        # Unified edge-consistency chain: replicas, the query cache and
+        # the method cache all receive bus payloads through it.
+        self.consistency = EdgeConsistencyManager(self)
+        self.method_cache: Optional[TransactionalMethodCache] = None
         self.update_propagator: Optional["UpdatePropagator"] = None
         self.jms: Optional[JmsProvider] = None
         self.central: Optional["AppServer"] = None
@@ -154,6 +165,8 @@ class AppServer:
             container.drop_all()
         if self.query_cache is not None:
             self.query_cache.drop_all()
+        if self.method_cache is not None:
+            self.method_cache.drop_all()
         self.home_cache.invalidate()
         self._rmi_pools.clear()
         self._datasource = None
@@ -206,6 +219,20 @@ class AppServer:
         if self.query_cache is None:
             self.query_cache = QueryCacheManager(self)
         return self.query_cache
+
+    def enable_method_cache(
+        self,
+        mode: UpdateMode = UpdateMode.SYNC,
+        lease_ms: Optional[float] = None,
+        capacity: int = METHOD_CACHE_CAPACITY,
+    ) -> TransactionalMethodCache:
+        """Activate transactional method caching (level 6) on this server."""
+        if self.method_cache is None:
+            self.method_cache = TransactionalMethodCache(
+                self, mode=mode, lease_ms=lease_ms, capacity=capacity
+            )
+            self.consistency.register(self.method_cache)
+        return self.method_cache
 
     def container(self, name: str) -> Any:
         try:
@@ -332,6 +359,26 @@ class AppServer:
         """
         source = self.datasource()
         start = ctx.env.now
+        # Automatic footprint derivation (level 6): report this
+        # statement's read/write tables to any active collector, and
+        # record writes on the transaction for the consistency bus.
+        # ``parse_cached`` memoizes, so levels 1–5 (no collector, no
+        # table tracking) never pay for a parse here.
+        collector = ctx.footprint
+        transaction = ctx.transaction
+        propagator = self.update_propagator
+        tracking = (
+            transaction is not None
+            and propagator is not None
+            and propagator.tracks_table_writes
+        )
+        if collector is not None or tracking:
+            reads, writes = statement_footprint(parse_cached(sql))
+            if collector is not None:
+                collector.add(reads, writes)
+            if tracking:
+                for table in writes:
+                    transaction.record_table_write(table)
         statement_label = sql.split(None, 3)[0].lower() + ":" + _table_of(sql)
         span = ctx.start_span(
             "jdbc",

@@ -100,6 +100,20 @@ class StatelessSessionContainer(BaseContainer):
         self, ctx: InvocationContext, method: str, args: tuple, identity: Any = None
     ) -> Generator[Event, Any, Any]:
         self.invocations += 1
+        # Level 6: annotated methods route through the transactional
+        # method cache (a hit skips checkout, demarcation and the
+        # business method entirely; a miss runs below with a footprint
+        # collector attached).  ``method_cache`` is None at levels 1–5.
+        cache = self.server.method_cache
+        if cache is not None and cache.intercepts(self.name, method):
+            result = yield from cache.invoke_through(ctx, self, method, args)
+            return result
+        result = yield from self._invoke_direct(ctx, method, args)
+        return result
+
+    def _invoke_direct(
+        self, ctx: InvocationContext, method: str, args: tuple
+    ) -> Generator[Event, Any, Any]:
         instance = yield from self._checkout(ctx)
 
         def body(inner_ctx):

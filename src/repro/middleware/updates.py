@@ -55,15 +55,48 @@ UPDATE_TOPIC = "replica-updates"
 
 @dataclass
 class UpdatePayload:
-    """The bulk update shipped to one edge server (or one JMS message)."""
+    """The bulk update shipped to one edge server (or one JMS message).
+
+    The last three fields exist for the consistency bus (level 6):
+    ``tables`` carries the committing transaction's write set so method
+    caches can invalidate by footprint, ``sent_at`` stamps when the
+    payload left the main server (strict lease gate / bounded staleness
+    measurement), and ``seq`` is the per-target sequence number that
+    lets a strict-mode cache detect a lost push.  They are populated
+    only when a deployment activates method caching, so levels 1–5
+    ship byte-identical payloads.
+    """
 
     events: List[UpdateEvent] = field(default_factory=list)
     invalidations: List[Tuple[str, Optional[tuple]]] = field(default_factory=list)
     query_refreshes: List[Tuple[str, tuple, List[dict]]] = field(default_factory=list)
+    tables: List[str] = field(default_factory=list)
+    sent_at: Optional[float] = None
+    seq: Optional[int] = None
 
     @property
     def empty(self) -> bool:
-        return not (self.events or self.invalidations or self.query_refreshes)
+        return not (
+            self.events or self.invalidations or self.query_refreshes or self.tables
+        )
+
+    def wire_size(self) -> int:
+        """Serialized size; identical to the pre-level-6 payload layout
+        whenever the consistency-bus fields are unset."""
+        from .marshalling import sizeof
+
+        body = {
+            "events": self.events,
+            "invalidations": self.invalidations,
+            "query_refreshes": self.query_refreshes,
+        }
+        if self.tables:
+            body["tables"] = self.tables
+        if self.sent_at is not None:
+            body["sent_at"] = self.sent_at
+        if self.seq is not None:
+            body["seq"] = self.seq
+        return 32 + sizeof(body)
 
 
 class UpdaterFacadeBean(StatelessSessionBean):
@@ -95,24 +128,15 @@ class UpdaterFacadeBean(StatelessSessionBean):
 
     # -- push endpoint (edge servers) ----------------------------------------
     def apply_updates(self, ctx, payload: UpdatePayload):
-        """Install a bulk update payload into local replicas and caches."""
+        """Dispatch a bulk update payload through the consistency chain.
+
+        Replica installs, query-cache invalidations/refreshes and
+        method-cache invalidations are all interceptors on the server's
+        :class:`~repro.middleware.consistency.EdgeConsistencyManager`;
+        this façade no longer knows which mechanisms are deployed.
+        """
         yield from ctx.cpu(0.05 * max(1, len(payload.events)))
-        server = ctx.server
-        for event in payload.events:
-            container = server.readonly_container(event.component)
-            if container is None:
-                continue
-            if event.state or event.deleted:
-                container.apply_update(event)
-            else:
-                container.invalidate(event.primary_key)
-        cache = server.query_cache
-        if cache is not None:
-            for query_id, params in payload.invalidations:
-                cache.invalidate(query_id, params)
-            for query_id, params, rows in payload.query_refreshes:
-                cache.apply_refresh(query_id, params, rows)
-        return True
+        return ctx.server.consistency.deliver(ctx, payload)
 
 
 class UpdateSubscriberMdb(MessageDrivenBean):
@@ -152,6 +176,14 @@ class UpdatePropagator:
     def __init__(self, server: "AppServer", targets: List["AppServer"]):
         self.server = server
         self.targets = list(targets)
+        # Level 6: when any target runs a transactional method cache,
+        # every commit's write-table set rides the bus (even commits
+        # producing no replica events), payloads are stamped, and sync
+        # pushes carry per-target sequence numbers.  Off by default so
+        # levels 1–5 propagate exactly as before.
+        self.tracks_table_writes = False
+        self.table_update_mode = UpdateMode.SYNC
+        self._seq: dict = {}  # target server name -> last sequence sent
         self.sync_pushes = 0
         self.async_publishes = 0
         self.blocking_time_total = 0.0
@@ -163,6 +195,7 @@ class UpdatePropagator:
         # events whose descriptor declares staleness_bound_ms accumulate
         # here and flush in one coalesced publish within the bound.
         self._bounded_buffer: dict = {}  # (component, pk) -> UpdateEvent
+        self._buffer_started = 0.0
         self._flush_scheduled = False
         self._flush_deadline = float("inf")
         self.coalesced_events = 0
@@ -264,6 +297,7 @@ class UpdatePropagator:
         ctx: InvocationContext,
         events: List[UpdateEvent],
         explicit_invalidations: List[Tuple[str, Optional[tuple]]],
+        written_tables: Tuple[str, ...] = (),
     ) -> Generator[Event, Any, None]:
         if not self.targets:
             return
@@ -276,9 +310,20 @@ class UpdatePropagator:
             sync, asynchronous = yield from self.build_payloads(
                 ctx, events, explicit_invalidations
             )
+            if self.tracks_table_writes and written_tables:
+                carrier = (
+                    sync
+                    if self.table_update_mode == UpdateMode.SYNC
+                    else asynchronous
+                )
+                for table in written_tables:
+                    if table not in carrier.tables:
+                        carrier.tables.append(table)
             if not asynchronous.empty:
                 immediate, bound = self._split_by_staleness_bound(asynchronous)
                 if not immediate.empty:
+                    if self.tracks_table_writes:
+                        immediate.sent_at = ctx.env.now
                     yield from self.server.jms.publish(ctx, UPDATE_TOPIC, immediate)
                     self.async_publishes += 1
                 if bound is not None:
@@ -302,9 +347,24 @@ class UpdatePropagator:
         self, ctx: InvocationContext, target: "AppServer", payload: UpdatePayload
     ) -> Generator[Event, Any, None]:
         stats = self.server.resilience
+        shipped = payload
+        if self.tracks_table_writes:
+            # Per-target copy: the stamp and sequence number are assigned
+            # together, synchronously, so stamp order equals sequence
+            # order — the invariant the strict-mode staleness proof needs.
+            seq = self._seq.get(target.name, 0) + 1
+            self._seq[target.name] = seq
+            shipped = UpdatePayload(
+                events=payload.events,
+                invalidations=payload.invalidations,
+                query_refreshes=payload.query_refreshes,
+                tables=payload.tables,
+                sent_at=ctx.env.now,
+                seq=seq,
+            )
         try:
             ref = yield from self.server.lookup_at(ctx, UPDATER_FACADE, target)
-            yield from ref.call(ctx, "apply_updates", payload)
+            yield from ref.call(ctx, "apply_updates", shipped)
         except (RmiTimeout,) + RETRYABLE_ERRORS:
             # The transaction already committed locally; a push that the
             # RMI layer could not land just leaves this replica stale.
@@ -313,6 +373,12 @@ class UpdatePropagator:
                 stats.sync_push_failures += 1
                 stats.dropped_updates += 1
                 stats.mark_stale(target.name, ctx.env.now)
+            cache = getattr(target, "method_cache", None)
+            if cache is not None:
+                # Ground truth for the staleness audit: this target never
+                # saw the payload (the seq gap it leaves is what the
+                # cache's own guards must catch).
+                cache.mark_missed(shipped, ctx.env.now)
             return
         if stats is not None:
             stats.mark_fresh(target.name, ctx.env.now)
@@ -329,6 +395,7 @@ class UpdatePropagator:
         immediate = UpdatePayload(
             invalidations=list(payload.invalidations),
             query_refreshes=list(payload.query_refreshes),
+            tables=list(payload.tables),
         )
         bounded_events: List[UpdateEvent] = []
         min_bound: Optional[float] = None
@@ -352,6 +419,9 @@ class UpdatePropagator:
         with the latest state — the bandwidth saving that motivates
         relaxed consistency bounds (§5, citing TACT).
         """
+        if not self._bounded_buffer:
+            # Staleness is measured from the oldest buffered commit.
+            self._buffer_started = ctx.env.now
         for event in events:
             key = (event.component, event.primary_key)
             if key in self._bounded_buffer:
@@ -375,6 +445,11 @@ class UpdatePropagator:
             return  # an earlier flush already drained the buffer
         self._flush_scheduled = False
         payload = UpdatePayload(events=list(self._bounded_buffer.values()))
+        if self.tracks_table_writes:
+            for event in payload.events:
+                if event.table not in payload.tables:
+                    payload.tables.append(event.table)
+            payload.sent_at = self._buffer_started
         self._bounded_buffer.clear()
         flush_ctx = InvocationContext(
             env=ctx.env,

@@ -272,8 +272,11 @@ def collect_cache_stats(system) -> dict:
     """
     query_cache: Dict[str, dict] = {}
     replicas: Dict[str, dict] = {}
+    method_cache: Dict[str, dict] = {}
     for server_name in sorted(system.servers):
         server = system.servers[server_name]
+        if getattr(server, "method_cache", None) is not None:
+            method_cache[server_name] = server.method_cache.stats.as_dict()
         if server.query_cache is not None:
             query_cache[server_name] = {
                 query_id: server.query_cache.stats[query_id].as_dict()
@@ -292,7 +295,12 @@ def collect_cache_stats(system) -> dict:
             }
         if replica_stats:
             replicas[server_name] = replica_stats
-    return {"query_cache": query_cache, "replicas": replicas}
+    stats = {"query_cache": query_cache, "replicas": replicas}
+    # The method-cache section exists only when level 6 is active, so
+    # levels 1-5 keep emitting byte-identical cache-stat dicts.
+    if method_cache:
+        stats["method_cache"] = method_cache
+    return stats
 
 
 def merge_cache_stats(*stats: Optional[dict]) -> dict:
@@ -308,6 +316,13 @@ def merge_cache_stats(*stats: Optional[dict]) -> dict:
                     into = into_server.setdefault(key, {})
                     for counter, value in counters.items():
                         into[counter] = into.get(counter, 0) + value
+        # Method-cache stats are one flat dict per server (the cache is
+        # per-container-chain, not per-query); the merged dict only grows
+        # the section when some input carried it.
+        for server, counters in item.get("method_cache", {}).items():
+            into = merged.setdefault("method_cache", {}).setdefault(server, {})
+            for counter, value in counters.items():
+                into[counter] = into.get(counter, 0) + value
     return merged
 
 
@@ -375,6 +390,10 @@ def collect_system_metrics(registry: MetricsRegistry, system, generator=None) ->
             prefix = f"replica.{server_name}.{component}"
             for counter_name, value in counters.items():
                 registry.counter(f"{prefix}.{counter_name}").inc(value)
+    # methodcache.* names exist only under level 6 (see collect_cache_stats).
+    for server_name, counters in cache_stats.get("method_cache", {}).items():
+        for counter_name, value in counters.items():
+            registry.counter(f"methodcache.{server_name}.{counter_name}").inc(value)
 
     if generator is not None:
         registry.counter("workload.requests").inc(generator.total_requests())

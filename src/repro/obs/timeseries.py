@@ -329,6 +329,20 @@ class _Sampler:
         current["replica.hits"] = replica_hits
         current["replica.misses"] = replica_misses
 
+        # Method-cache counters appear only under level 6, so the
+        # paper-level series artifacts stay byte-identical.
+        method_hits = method_misses = 0
+        any_method_cache = False
+        for server_name in sorted(system.servers):
+            cache = getattr(system.servers[server_name], "method_cache", None)
+            if cache is not None:
+                any_method_cache = True
+                method_hits += cache.stats.hits
+                method_misses += cache.stats.misses
+        if any_method_cache:
+            current["methodcache.hits"] = method_hits
+            current["methodcache.misses"] = method_misses
+
         # Cluster counters appear only under a data_tier policy, so
         # single-instance series stay byte-identical with earlier runs.
         cluster = getattr(system, "cluster", None)

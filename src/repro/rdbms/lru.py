@@ -13,7 +13,7 @@ later id reuse simply misses and recomputes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterator, Optional, Tuple
 
 __all__ = ["LruCache"]
 
@@ -45,10 +45,34 @@ class LruCache:
         self._data.move_to_end(key)
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """The value for ``key`` without refreshing its recency."""
+        value = self._data.get(key, _MISSING)
+        return None if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> Optional[Tuple[Hashable, Any]]:
+        """Insert/refresh ``key``; returns the evicted ``(key, value)``
+        pair when the insert pushed an older entry out, else None.
+
+        Callers that maintain secondary indexes over the cached keys (the
+        consistency layer's table→entry maps) use the returned pair to
+        keep those indexes coherent with evictions.
+        """
         data = self._data
         if key in data:
             data.move_to_end(key)
         data[key] = value
         if len(data) > self.capacity:
-            data.popitem(last=False)
+            return data.popitem(last=False)
+        return None
+
+    def pop(self, key: Hashable) -> Optional[Any]:
+        """Remove ``key``, returning its value (None when absent)."""
+        value = self._data.pop(key, _MISSING)
+        return None if value is _MISSING else value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._data.keys())

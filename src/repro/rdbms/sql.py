@@ -48,6 +48,7 @@ __all__ = [
     "JoinClause",
     "OrderBy",
     "Statement",
+    "statement_footprint",
     "parse",
     "parse_cached",
 ]
@@ -158,6 +159,23 @@ class Delete:
 
 
 Statement = Union[Select, Insert, Update, Delete]
+
+
+def statement_footprint(statement: Statement) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """``(tables_read, tables_written)`` of one statement, from the AST.
+
+    SELECT reads its FROM table plus every JOIN table; INSERT writes its
+    target; UPDATE and DELETE both read (scan) and write their target.
+    This is the primitive the consistency layer uses to derive method
+    footprints automatically — no hand-maintained table lists.
+    """
+    if isinstance(statement, Select):
+        return tuple(sorted(set(statement.tables()))), ()
+    if isinstance(statement, Insert):
+        return (), (statement.table,)
+    if isinstance(statement, (Update, Delete)):
+        return (statement.table,), (statement.table,)
+    raise SqlError(f"no footprint for statement type {type(statement).__name__}")
 
 
 # ---------------------------------------------------------------------------

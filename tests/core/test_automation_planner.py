@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.automation import configure_for_level
-from repro.core.patterns import PATTERN_CATALOG, PatternLevel, level_name
+from repro.core.patterns import PAPER_LEVELS, PATTERN_CATALOG, PatternLevel, level_name
 from repro.core.planner import PlanError, plan_deployment
 from repro.middleware.descriptors import UpdateMode
 from repro.middleware.updates import UPDATE_SUBSCRIBER, UPDATER_FACADE
@@ -19,7 +19,10 @@ def test_catalog_covers_all_levels():
     assert set(PATTERN_CATALOG) == set(PatternLevel)
     for level, info in PATTERN_CATALOG.items():
         assert info.level == level
-        assert info.paper_section.startswith("4.")
+        if level in PAPER_LEVELS:
+            assert info.paper_section.startswith("4.")
+        else:
+            assert info.paper_section.startswith("beyond the paper")
 
 
 def test_level_name():

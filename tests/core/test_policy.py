@@ -14,7 +14,7 @@ import pytest
 
 from repro.apps import petstore, rubis
 from repro.core.automation import apply_policy, configure_for_level
-from repro.core.patterns import PatternLevel
+from repro.core.patterns import PAPER_LEVELS, PatternLevel
 from repro.core.planner import PlanError, plan_deployment
 from repro.core.policy import (
     ComponentPolicy,
@@ -266,7 +266,7 @@ EDGE_SETS = (
 
 
 @pytest.mark.parametrize("build", [petstore.build_application, rubis.build_application])
-@pytest.mark.parametrize("level", list(PatternLevel))
+@pytest.mark.parametrize("level", list(PAPER_LEVELS))
 def test_level_policy_matches_legacy_planner(build, level):
     for edges in EDGE_SETS:
         legacy_app = build(level)
@@ -283,7 +283,7 @@ def test_level_policy_matches_legacy_planner(build, level):
         assert plan.query_cache_servers == caches, (level, edges)
 
 
-@pytest.mark.parametrize("level", list(PatternLevel))
+@pytest.mark.parametrize("level", list(PAPER_LEVELS))
 def test_configure_for_level_still_compiles_policies(level):
     """The compatibility wrapper behaves like the old automation pass."""
     legacy_app = tiny_application()

@@ -114,6 +114,8 @@ def tiny_application(read_mostly: bool = True) -> ApplicationDescriptor:
             impl=NotesFacadeBean,
             remote_interface=True,
             edge_from_level=3,
+            # Only consulted at level 6; levels 1-5 ignore the annotation.
+            cached_methods=("notes_of", "read_note"),
         )
     )
     app.add(

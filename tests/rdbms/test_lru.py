@@ -1,0 +1,67 @@
+"""The shared LRU cache: eviction reporting and the secondary-index API.
+
+The buffer-pool Executor ignores ``put``'s return value; the query and
+method caches (which keep secondary indexes over their keys) rely on it
+to unlink evicted entries — these tests pin that contract.
+"""
+
+from repro.rdbms.lru import LruCache
+
+
+def test_put_returns_none_until_capacity_is_hit():
+    cache = LruCache(2)
+    assert cache.put("a", 1) is None
+    assert cache.put("b", 2) is None
+    assert len(cache) == 2
+
+
+def test_put_returns_the_evicted_pair():
+    cache = LruCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    evicted = cache.put("c", 3)
+    assert evicted == ("a", 1)
+    assert cache.get("a") is None
+    assert cache.get("b") == 2 and cache.get("c") == 3
+
+
+def test_get_refreshes_recency_but_peek_does_not():
+    cache = LruCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.peek("a") == 1  # no recency refresh
+    assert cache.put("c", 3) == ("a", 1)  # "a" still the LRU victim
+
+    cache = LruCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh
+    assert cache.put("c", 3) == ("b", 2)  # now "b" is the victim
+
+
+def test_overwrite_does_not_evict():
+    cache = LruCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.put("a", 10) is None
+    assert cache.get("a") == 10
+    assert len(cache) == 2
+
+
+def test_pop_removes_and_returns():
+    cache = LruCache(2)
+    cache.put("a", 1)
+    assert cache.pop("a") == 1
+    assert cache.pop("a") is None
+    assert cache.pop("missing") is None
+    assert len(cache) == 0
+
+
+def test_clear_and_keys():
+    cache = LruCache(4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert list(cache.keys()) == ["a", "b"]
+    cache.clear()
+    assert len(cache) == 0
+    assert list(cache.keys()) == []
